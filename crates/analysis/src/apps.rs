@@ -1,0 +1,122 @@
+//! Application-requirement analysis.
+//!
+//! §4.1's cost-effectiveness argument rests on application needs: "the
+//! network requirements of most applications such as 1080P video streaming
+//! can already be met by Roam … the more cost-friendly Roam plan can
+//! effectively serve as a viable alternative to the Mobility plan." This
+//! module encodes a catalogue of application requirement profiles and
+//! computes, for a throughput/RTT sample set, how often each application
+//! would have been satisfied.
+
+use serde::{Deserialize, Serialize};
+
+/// One application's network requirements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRequirement {
+    pub name: String,
+    /// Sustained downlink throughput needed, Mbps.
+    pub min_mbps: f64,
+    /// Maximum tolerable RTT, ms (`f64::INFINITY` = insensitive).
+    pub max_rtt_ms: f64,
+}
+
+impl AppRequirement {
+    fn new(name: &str, min_mbps: f64, max_rtt_ms: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            min_mbps,
+            max_rtt_ms,
+        }
+    }
+}
+
+/// The default application catalogue, ordered by increasing demand.
+///
+/// Bitrates follow the usual streaming-service recommendations; the
+/// interactive entries carry RTT bounds.
+pub fn default_catalogue() -> Vec<AppRequirement> {
+    vec![
+        AppRequirement::new("voice call", 0.1, 300.0),
+        AppRequirement::new("web browsing", 2.0, 500.0),
+        AppRequirement::new("HD video call", 3.5, 250.0),
+        AppRequirement::new("1080p video streaming", 8.0, f64::INFINITY),
+        AppRequirement::new("4K video streaming", 25.0, f64::INFINITY),
+        AppRequirement::new("cloud gaming", 35.0, 80.0),
+        AppRequirement::new("8K video streaming", 100.0, f64::INFINITY),
+    ]
+}
+
+/// Fraction of `(mbps, rtt_ms)` samples satisfying an application's needs.
+pub fn satisfaction(app: &AppRequirement, samples: &[(f64, f64)]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let ok = samples
+        .iter()
+        .filter(|(mbps, rtt)| *mbps >= app.min_mbps && *rtt <= app.max_rtt_ms)
+        .count();
+    ok as f64 / samples.len() as f64
+}
+
+/// Satisfaction of every catalogue entry: `(app name, fraction)`.
+pub fn satisfaction_table(
+    catalogue: &[AppRequirement],
+    samples: &[(f64, f64)],
+) -> Vec<(String, f64)> {
+    catalogue
+        .iter()
+        .map(|a| (a.name.clone(), satisfaction(a, samples)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_ordered_by_demand() {
+        let cat = default_catalogue();
+        for w in cat.windows(2) {
+            assert!(w[0].min_mbps <= w[1].min_mbps);
+        }
+        assert!(cat.iter().any(|a| a.name.contains("1080p")));
+    }
+
+    #[test]
+    fn satisfaction_checks_both_dimensions() {
+        let app = AppRequirement::new("x", 10.0, 100.0);
+        let samples = [
+            (50.0, 50.0),  // ok
+            (5.0, 50.0),   // too slow
+            (50.0, 200.0), // too laggy
+            (9.9, 99.0),   // just too slow
+        ];
+        assert!((satisfaction(&app, &samples) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roam_level_throughput_satisfies_1080p_mostly() {
+        // The §4.1 argument: Roam's 75th-percentile 93 Mbps (here: a mix
+        // with most samples well above 8 Mbps) satisfies 1080p streaming.
+        let samples: Vec<(f64, f64)> = (0..100)
+            .map(|i| if i < 25 { (4.0, 70.0) } else { (90.0, 70.0) })
+            .collect();
+        let cat = default_catalogue();
+        let table = satisfaction_table(&cat, &samples);
+        let get = |name: &str| {
+            table
+                .iter()
+                .find(|(n, _)| n.contains(name))
+                .map(|(_, f)| *f)
+                .unwrap()
+        };
+        assert!(get("1080p") >= 0.75);
+        assert!(get("8K") < get("1080p"));
+    }
+
+    #[test]
+    fn empty_samples_yield_zero() {
+        let app = AppRequirement::new("x", 1.0, 100.0);
+        assert_eq!(satisfaction(&app, &[]), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts once; evaluation and quantiles are then `O(log n)`.
+/// Non-finite samples are rejected at construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples.
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN or infinite (they would poison every
+    /// quantile silently).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "CDF samples must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite by assertion"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (`p ∈ [0, 1]`), with linear interpolation.
+    ///
+    /// Returns `None` on an empty sample.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let idx = p * (self.sorted.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        Some(self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * (idx - lo as f64))
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Evaluates the CDF at `n` evenly spaced points over `[lo, hi]`,
+    /// yielding `(x, P(X ≤ x))` pairs — the series a CDF plot draws.
+    pub fn curve(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2 && hi > lo);
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_function() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.5), 0.5);
+        assert_eq!(c.eval(4.0), 1.0);
+        assert_eq!(c.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let c = Cdf::new(vec![0.0, 10.0]);
+        assert_eq!(c.quantile(0.0), Some(0.0));
+        assert_eq!(c.quantile(0.5), Some(5.0));
+        assert_eq!(c.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(c.median(), Some(2.0));
+        assert_eq!(c.mean(), Some(2.0));
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.eval(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_samples_rejected() {
+        let _ = Cdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = Cdf::new((0..100).map(|i| (i * 7 % 31) as f64).collect());
+        let curve = c.curve(0.0, 31.0, 50);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve.len(), 50);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn eval_in_unit_interval(samples in prop::collection::vec(-1e6..1e6f64, 0..200), x in -2e6..2e6f64) {
+                let c = Cdf::new(samples);
+                let p = c.eval(x);
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+
+            #[test]
+            fn eval_is_monotone(samples in prop::collection::vec(-1e3..1e3f64, 1..100), a in -2e3..2e3f64, b in -2e3..2e3f64) {
+                let c = Cdf::new(samples);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert!(c.eval(lo) <= c.eval(hi));
+            }
+
+            #[test]
+            fn quantile_is_monotone(samples in prop::collection::vec(-1e3..1e3f64, 1..100), p in 0.0..1.0f64, q in 0.0..1.0f64) {
+                let c = Cdf::new(samples);
+                let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
+                prop_assert!(c.quantile(lo).unwrap() <= c.quantile(hi).unwrap());
+            }
+
+            #[test]
+            fn quantile_within_range(samples in prop::collection::vec(-1e3..1e3f64, 1..100), p in 0.0..1.0f64) {
+                let c = Cdf::new(samples.clone());
+                let v = c.quantile(p).unwrap();
+                prop_assert!(v >= c.min().unwrap() && v <= c.max().unwrap());
+            }
+
+            #[test]
+            fn median_splits_mass(samples in prop::collection::vec(-1e3..1e3f64, 1..100)) {
+                let c = Cdf::new(samples);
+                let m = c.median().unwrap();
+                // At least half the mass lies at or below the median.
+                prop_assert!(c.eval(m) >= 0.5 - 1e-9);
+            }
+        }
+    }
+}

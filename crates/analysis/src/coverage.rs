@@ -1,0 +1,161 @@
+//! Performance-coverage levels and network combination (§5.2).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's four performance levels.
+///
+/// "The high-performance regions are characterized by throughput exceeding
+/// 100 Mbps … medium … between 50 and 100 Mbps … low … between 20 and
+/// 50 Mbps … very-low … under 20 Mbps."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CoverageLevel {
+    VeryLow,
+    Low,
+    Medium,
+    High,
+}
+
+impl CoverageLevel {
+    /// All levels, worst first (the stacking order of Figure 9).
+    pub const ALL: [CoverageLevel; 4] = [
+        CoverageLevel::VeryLow,
+        CoverageLevel::Low,
+        CoverageLevel::Medium,
+        CoverageLevel::High,
+    ];
+
+    /// Classifies a throughput sample, Mbps.
+    pub fn of_mbps(mbps: f64) -> Self {
+        if mbps > 100.0 {
+            CoverageLevel::High
+        } else if mbps > 50.0 {
+            CoverageLevel::Medium
+        } else if mbps > 20.0 {
+            CoverageLevel::Low
+        } else {
+            CoverageLevel::VeryLow
+        }
+    }
+
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CoverageLevel::VeryLow => "Very Low",
+            CoverageLevel::Low => "Low",
+            CoverageLevel::Medium => "Medium",
+            CoverageLevel::High => "High",
+        }
+    }
+}
+
+/// Proportion of samples in each level, ordered as [`CoverageLevel::ALL`].
+/// Empty input yields all zeros.
+pub fn coverage_proportions(mbps_samples: &[f64]) -> [f64; 4] {
+    let mut counts = [0usize; 4];
+    for &v in mbps_samples {
+        let idx = match CoverageLevel::of_mbps(v) {
+            CoverageLevel::VeryLow => 0,
+            CoverageLevel::Low => 1,
+            CoverageLevel::Medium => 2,
+            CoverageLevel::High => 3,
+        };
+        counts[idx] += 1;
+    }
+    let n = mbps_samples.len();
+    if n == 0 {
+        return [0.0; 4];
+    }
+    counts.map(|c| c as f64 / n as f64)
+}
+
+/// Element-wise best across several aligned series — the §5.2 combination
+/// bars (BestCL = best of the three cellular series; RM+CL, MOB+CL = a
+/// Starlink series combined with the cellular best; MOB+ATT etc. for the
+/// §6 "zero-effort switching" upper bound).
+///
+/// # Panics
+/// Panics if the series lengths differ (they must be timestamp-aligned)
+/// or no series is given.
+pub fn best_of(series: &[&[f64]]) -> Vec<f64> {
+    assert!(!series.is_empty(), "need at least one series");
+    let len = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == len),
+        "series must be aligned to the same timestamps"
+    );
+    (0..len)
+        .map(|i| {
+            series
+                .iter()
+                .map(|s| s[i])
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_thresholds_match_paper() {
+        assert_eq!(CoverageLevel::of_mbps(10.0), CoverageLevel::VeryLow);
+        assert_eq!(CoverageLevel::of_mbps(20.0), CoverageLevel::VeryLow);
+        assert_eq!(CoverageLevel::of_mbps(35.0), CoverageLevel::Low);
+        assert_eq!(CoverageLevel::of_mbps(50.0), CoverageLevel::Low);
+        assert_eq!(CoverageLevel::of_mbps(75.0), CoverageLevel::Medium);
+        assert_eq!(CoverageLevel::of_mbps(100.0), CoverageLevel::Medium);
+        assert_eq!(CoverageLevel::of_mbps(101.0), CoverageLevel::High);
+    }
+
+    #[test]
+    fn proportions_partition() {
+        let samples = [5.0, 30.0, 30.0, 70.0, 150.0, 150.0, 150.0, 150.0];
+        let p = coverage_proportions(&samples);
+        assert_eq!(p, [0.125, 0.25, 0.125, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportions_of_empty() {
+        assert_eq!(coverage_proportions(&[]), [0.0; 4]);
+    }
+
+    #[test]
+    fn best_of_takes_pointwise_max() {
+        let a = [10.0, 100.0, 5.0];
+        let b = [50.0, 20.0, 5.0];
+        let c = [5.0, 5.0, 80.0];
+        assert_eq!(best_of(&[&a, &b, &c]), vec![50.0, 100.0, 80.0]);
+    }
+
+    #[test]
+    fn best_of_dominates_every_input() {
+        let a = [1.0, 7.0, 3.0, 9.0];
+        let b = [4.0, 2.0, 8.0, 1.0];
+        let best = best_of(&[&a, &b]);
+        for i in 0..a.len() {
+            assert!(best[i] >= a[i] && best[i] >= b[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn best_of_rejects_misaligned() {
+        let a = [1.0, 2.0];
+        let b = [1.0];
+        let _ = best_of(&[&a, &b]);
+    }
+
+    #[test]
+    fn combination_never_reduces_high_coverage() {
+        // The Figure 9 property: combining networks can only improve the
+        // high-performance share.
+        let sl = [150.0, 10.0, 150.0, 10.0];
+        let cl = [10.0, 150.0, 10.0, 10.0];
+        let combined = best_of(&[&sl, &cl]);
+        let high = |s: &[f64]| coverage_proportions(s)[3];
+        assert!(high(&combined) >= high(&sl).max(high(&cl)));
+        assert_eq!(high(&combined), 0.75);
+    }
+}

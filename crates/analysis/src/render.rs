@@ -1,0 +1,159 @@
+//! Terminal renderers for the paper's figure types.
+//!
+//! Each renderer returns a plain-text block using Unicode block elements —
+//! good enough to eyeball every figure from `cargo run --example figures`
+//! without a plotting stack.
+
+use crate::cdf::Cdf;
+use crate::stats::BoxStats;
+
+/// Shade characters from empty to full.
+const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+
+fn shade(frac: f64) -> char {
+    let idx = (frac.clamp(0.0, 1.0) * (SHADES.len() - 1) as f64).round() as usize;
+    SHADES[idx]
+}
+
+/// Renders a set of labelled CDFs as an ASCII plot (`height` rows ×
+/// `width` cols). The x-axis spans `[0, x_max]`.
+pub fn render_cdf(curves: &[(&str, &Cdf)], x_max: f64, width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 4 && x_max > 0.0);
+    let mut grid = vec![vec![' '; width]; height];
+    let marks = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    for (ci, (_, cdf)) in curves.iter().enumerate() {
+        let mark = marks[ci % marks.len()];
+        for (col, x) in (0..width).map(|c| (c, x_max * c as f64 / (width - 1) as f64)) {
+            let p = cdf.eval(x);
+            let row = ((1.0 - p) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = mark;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y = 1.0 - i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     +{}\n      0{:>width$.0}\n",
+        "-".repeat(width),
+        x_max,
+        width = width - 1
+    ));
+    for (ci, (label, _)) in curves.iter().enumerate() {
+        out.push_str(&format!("      {} {}\n", marks[ci % marks.len()], label));
+    }
+    out
+}
+
+/// Renders labelled values as a horizontal bar chart.
+pub fn render_bars(rows: &[(&str, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max).max(1e-12);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let filled = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} | {}{} {v:.1}\n",
+            "█".repeat(filled),
+            " ".repeat(width - filled.min(width)),
+        ));
+    }
+    out
+}
+
+/// Renders one box-plot row on a `[0, x_max]` axis:
+/// `min ─── [q1 ▓ median ▓ q3] ─── max`.
+pub fn render_box_row(label: &str, stats: &BoxStats, x_max: f64, width: usize) -> String {
+    let pos = |v: f64| ((v / x_max).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize;
+    let mut row = vec![' '; width];
+    let (pmin, pq1, pmed, pq3, pmax) = (
+        pos(stats.min),
+        pos(stats.q1),
+        pos(stats.median),
+        pos(stats.q3),
+        pos(stats.max),
+    );
+    for cell in row.iter_mut().take(pq1).skip(pmin) {
+        *cell = '─';
+    }
+    for cell in row.iter_mut().take(pq3 + 1).skip(pq1) {
+        *cell = '▓';
+    }
+    for cell in row.iter_mut().take(pmax + 1).skip(pq3 + 1) {
+        *cell = '─';
+    }
+    row[pmed] = '┃';
+    format!(
+        "{label:>6} |{}| med {:.0}, mean {:.0}\n",
+        row.into_iter().collect::<String>(),
+        stats.median,
+        stats.mean
+    )
+}
+
+/// Renders a per-second series as a shaded heat strip (Figure 1's form):
+/// darker = higher throughput, normalised to `v_max`.
+pub fn render_heat_strip(label: &str, series: &[f64], v_max: f64, width: usize) -> String {
+    assert!(v_max > 0.0 && width > 0);
+    let chunk = (series.len() as f64 / width as f64).max(1.0);
+    let mut strip = String::with_capacity(width);
+    for i in 0..width.min(series.len()) {
+        let a = (i as f64 * chunk) as usize;
+        let b = (((i + 1) as f64 * chunk) as usize).min(series.len());
+        if a >= series.len() || a >= b {
+            break;
+        }
+        let avg = series[a..b].iter().sum::<f64>() / (b - a) as f64;
+        strip.push(shade(avg / v_max));
+    }
+    format!("{label:>6} |{strip}|\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_render_contains_axes_and_legend() {
+        let c = Cdf::new((0..100).map(|i| i as f64).collect());
+        let s = render_cdf(&[("MOB", &c)], 100.0, 40, 10);
+        assert!(s.contains("1.00 |"));
+        assert!(s.contains("* MOB"));
+        assert!(s.lines().count() >= 12);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = render_bars(&[("A", 100.0), ("B", 50.0)], 20);
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.chars().filter(|&c| c == '█').count();
+        assert_eq!(count(lines[0]), 20);
+        assert_eq!(count(lines[1]), 10);
+    }
+
+    #[test]
+    fn box_row_orders_glyphs() {
+        let stats = BoxStats::from_samples(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        let s = render_box_row("X", &stats, 100.0, 50);
+        assert!(s.contains('┃'));
+        assert!(s.contains('▓'));
+        assert!(s.contains("med 30"));
+    }
+
+    #[test]
+    fn heat_strip_darkness_tracks_value() {
+        let hi = render_heat_strip("HI", &[100.0; 50], 100.0, 25);
+        let lo = render_heat_strip("LO", &[5.0; 50], 100.0, 25);
+        assert!(hi.matches('█').count() > 20);
+        assert_eq!(lo.matches('█').count(), 0);
+    }
+
+    #[test]
+    fn heat_strip_handles_short_series() {
+        let s = render_heat_strip("S", &[50.0, 100.0], 100.0, 40);
+        assert!(s.contains('|'));
+    }
+}

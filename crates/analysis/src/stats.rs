@@ -1,0 +1,128 @@
+//! Box statistics and simple aggregates.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus mean — what one box in a box plot shows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Computes box statistics; `None` on an empty or non-finite input.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |p: f64| {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+        };
+        Some(Self {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: v[v.len() - 1],
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            n: v.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// Percentage improvement of `new` over `base` (Figure 7's y-axis, and
+/// §6's "improvement over the better path").
+///
+/// Returns 0 when the baseline is non-positive (no meaningful ratio).
+pub fn improvement_pct(base: f64, new: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_known_series() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.iqr(), 2.0);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn box_stats_rejects_bad_input() {
+        assert!(BoxStats::from_samples(&[]).is_none());
+        assert!(BoxStats::from_samples(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn ordering_invariant() {
+        let s = BoxStats::from_samples(&[9.0, 1.0, 5.0, 7.0, 3.0, 2.0]).unwrap();
+        assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+    }
+
+    #[test]
+    fn improvement_percentages() {
+        assert_eq!(improvement_pct(100.0, 150.0), 50.0);
+        assert_eq!(improvement_pct(100.0, 100.0), 0.0);
+        assert_eq!(improvement_pct(100.0, 50.0), -50.0);
+        assert_eq!(improvement_pct(0.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn box_ordering_holds(samples in prop::collection::vec(-1e6..1e6f64, 1..200)) {
+                let s = BoxStats::from_samples(&samples).unwrap();
+                prop_assert!(s.min <= s.q1);
+                prop_assert!(s.q1 <= s.median);
+                prop_assert!(s.median <= s.q3);
+                prop_assert!(s.q3 <= s.max);
+                prop_assert!(s.mean >= s.min && s.mean <= s.max);
+            }
+        }
+    }
+}

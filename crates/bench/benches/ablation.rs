@@ -1,0 +1,140 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Scheduler ablation** — all five MPTCP schedulers (including the
+//!   future-work LEO-aware one) over the same Starlink+cellular trace
+//!   pair; Criterion reports runtime, and the bench prints goodput and
+//!   fluctuation once per scheduler so `cargo bench` output doubles as
+//!   the ablation table.
+//! * **Buffer ablation** — the §6 tuning knob swept across regimes.
+//! * **Engine ablation** — analytic vs. packet-level iPerf on the same
+//!   trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_analysis::timeseries::fluctuation_index;
+use leo_bench::bench_campaign;
+use leo_core::mptcp_emu::{run_mptcp, run_single_path, BufferTuning};
+use leo_transport::cc::CcAlgorithm;
+use leo_dataset::record::NetworkId;
+use leo_measure::iperf::{Engine, IperfConfig, IperfRunner};
+use leo_transport::mptcp::SchedulerKind;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn window(n: NetworkId, secs: u64) -> leo_link::trace::LinkTrace {
+    let c = bench_campaign();
+    let timeline = c.samples.len() as u64;
+    let t0 = (timeline / 3).min(timeline.saturating_sub(secs));
+    c.traces[&n].0.window(t0, t0 + secs)
+}
+
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    let mob = window(NetworkId::Mobility, 60);
+    let vz = window(NetworkId::Verizon, 60);
+
+    static PRINT: Once = Once::new();
+    PRINT.call_once(|| {
+        eprintln!("\nscheduler ablation (60 s MOB+VZ window, tuned buffers):");
+        for sched in SchedulerKind::ALL {
+            let r = run_mptcp(&mob, &vz, sched, BufferTuning::Tuned, 9);
+            eprintln!(
+                "  {:<10} {:>6.1} Mbps, fluctuation {:.2}",
+                sched.label(),
+                r.mean_mbps,
+                fluctuation_index(&r.per_second_mbps).unwrap_or(f64::NAN)
+            );
+        }
+    });
+
+    let mut g = c.benchmark_group("scheduler_ablation");
+    g.sample_size(10);
+    for sched in SchedulerKind::ALL {
+        g.bench_function(sched.label(), |b| {
+            b.iter(|| black_box(run_mptcp(&mob, &vz, sched, BufferTuning::Tuned, 9)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_buffer_ablation(c: &mut Criterion) {
+    let mob = window(NetworkId::Mobility, 60);
+    let att = window(NetworkId::Att, 60);
+
+    static PRINT: Once = Once::new();
+    PRINT.call_once(|| {
+        eprintln!("\nbuffer ablation (60 s MOB+ATT window, BLEST):");
+        let single = run_single_path(&mob, 9).mean_mbps;
+        eprintln!("  single-path MOB: {single:.1} Mbps");
+        for tuning in [BufferTuning::Default, BufferTuning::Tuned] {
+            let r = run_mptcp(&mob, &att, SchedulerKind::Blest, tuning, 9);
+            eprintln!("  {tuning:?}: {:.1} Mbps", r.mean_mbps);
+        }
+    });
+
+    let mut g = c.benchmark_group("buffer_ablation");
+    g.sample_size(10);
+    for tuning in [BufferTuning::Default, BufferTuning::Tuned] {
+        g.bench_function(format!("{tuning:?}"), |b| {
+            b.iter(|| black_box(run_mptcp(&mob, &att, SchedulerKind::Blest, tuning, 9)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_ablation(c: &mut Criterion) {
+    let mob = window(NetworkId::Mobility, 30);
+    let mut g = c.benchmark_group("engine_ablation");
+    g.bench_function("analytic_udp", |b| {
+        let runner = IperfRunner::new(IperfConfig::udp_down());
+        b.iter(|| black_box(runner.run(&mob)))
+    });
+    g.sample_size(10);
+    g.bench_function("packet_level_udp", |b| {
+        let runner = IperfRunner::new(IperfConfig::udp_down().with_engine(Engine::PacketLevel));
+        b.iter(|| black_box(runner.run(&mob)))
+    });
+    g.finish();
+}
+
+fn bench_cc_ablation(c: &mut Criterion) {
+    // CUBIC vs BBR-lite on the same Starlink window, replayed through the
+    // packet-level iPerf engine, which *keeps* the channel's loss series —
+    // so the controllers face the real §4.1 conditions (unlike the MpShell
+    // harness, which by the paper's methodology replays capacity only).
+    let mob = window(NetworkId::Mobility, 45);
+
+    static PRINT: Once = Once::new();
+    PRINT.call_once(|| {
+        eprintln!("
+cc ablation (45 s Starlink window incl. channel loss):");
+        for cc in [CcAlgorithm::Cubic, CcAlgorithm::BbrLite] {
+            let runner = IperfRunner::new(
+                IperfConfig::tcp_down_starlink(1)
+                    .with_engine(Engine::PacketLevel)
+                    .with_cc(cc),
+            );
+            eprintln!("  {cc:?}: {:.1} Mbps", runner.run(&mob).mean_mbps);
+        }
+    });
+
+    let mut g = c.benchmark_group("cc_ablation");
+    g.sample_size(10);
+    for cc in [CcAlgorithm::Cubic, CcAlgorithm::BbrLite] {
+        let runner = IperfRunner::new(
+            IperfConfig::tcp_down_starlink(1)
+                .with_engine(Engine::PacketLevel)
+                .with_cc(cc),
+        );
+        let mob = mob.clone();
+        g.bench_function(format!("{cc:?}"), |b| b.iter(|| black_box(runner.run(&mob))));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablation,
+    bench_scheduler_ablation,
+    bench_buffer_ablation,
+    bench_engine_ablation,
+    bench_cc_ablation,
+);
+criterion_main!(ablation);

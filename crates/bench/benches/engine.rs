@@ -1,0 +1,117 @@
+//! Microbenchmarks of the substrates: constellation sweeps, pipes, the
+//! event loop, congestion control, and the campaign generator — the
+//! ablation view of where simulation time goes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_cellular::carrier::Carrier;
+use leo_cellular::deployment::Deployment;
+use leo_geo::places::PlaceDb;
+use leo_geo::point::GeoPoint;
+use leo_link::mahimahi::MahimahiTrace;
+use leo_netsim::{ConstPipe, Pipe, SimTime, TracePipe};
+use leo_orbit::constellation::Constellation;
+use leo_orbit::visibility::visible_satellites;
+use leo_transport::cc::CcAlgorithm;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_constellation_sweep(c: &mut Criterion) {
+    let constellation = Constellation::starlink();
+    let ground = GeoPoint::new(44.5, -93.3);
+    c.bench_function("orbit_visible_satellites_sweep", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 15.0;
+            black_box(visible_satellites(&constellation, &ground, t, 25.0))
+        })
+    });
+}
+
+fn bench_deployment_query(c: &mut Criterion) {
+    let places = PlaceDb::five_state_corridor();
+    let corridor = vec![GeoPoint::new(44.95, -93.2), GeoPoint::new(41.88, -87.63)];
+    let dep = Deployment::generate(Carrier::Verizon, &places, &corridor, 1);
+    let p = GeoPoint::new(43.4, -90.2);
+    c.bench_function("cellular_nearest_sites", |b| {
+        b.iter(|| black_box(dep.nearest_sites(&p, 4)))
+    });
+}
+
+fn bench_pipes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipes");
+    g.bench_function("const_pipe_offer", |b| {
+        let mut pipe = ConstPipe::new(100.0, SimTime::from_millis(20), 0.01, 1 << 20);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 120;
+            black_box(pipe.offer(1500, SimTime::from_micros(t), &mut rng))
+        })
+    });
+    g.bench_function("trace_pipe_offer", |b| {
+        let trace = MahimahiTrace::from_capacity_series(&vec![100.0; 60]);
+        let mut pipe = TracePipe::new(trace, SimTime::from_millis(20), 1 << 20);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 120;
+            black_box(pipe.offer(1500, SimTime::from_micros(t), &mut rng))
+        })
+    });
+    g.finish();
+}
+
+fn bench_congestion_control(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cc");
+    for algo in [CcAlgorithm::Reno, CcAlgorithm::Cubic] {
+        g.bench_function(format!("{algo:?}_on_ack"), |b| {
+            let mut cc = algo.build();
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 0.001;
+                cc.on_ack(1, t, 0.05);
+                if cc.cwnd() > 10_000.0 {
+                    cc.on_loss_event(t);
+                }
+                black_box(cc.cwnd())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mahimahi_conversion(c: &mut Criterion) {
+    let caps: Vec<f64> = (0..300).map(|i| 50.0 + (i % 100) as f64).collect();
+    c.bench_function("mahimahi_from_capacity_series", |b| {
+        b.iter(|| black_box(MahimahiTrace::from_capacity_series(&caps)))
+    });
+}
+
+fn bench_campaign_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("campaign_generate_1pct", |b| {
+        b.iter(|| {
+            black_box(leo_dataset::campaign::Campaign::generate(
+                leo_dataset::campaign::CampaignConfig {
+                    scale: 0.01,
+                    seed: 7,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engine,
+    bench_constellation_sweep,
+    bench_deployment_query,
+    bench_pipes,
+    bench_congestion_control,
+    bench_mahimahi_conversion,
+    bench_campaign_generation,
+);
+criterion_main!(engine);

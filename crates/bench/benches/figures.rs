@@ -1,0 +1,116 @@
+//! One Criterion group per paper figure: each benchmark regenerates the
+//! figure's analysis from a cached 10 %-scale campaign and reports the
+//! cost of the full analysis path.
+//!
+//! Figures 10 and 11 additionally run the packet-level MPTCP emulation,
+//! so their benchmarks are the heavyweight entries (as in the paper,
+//! where §6's experiments dominate runtime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_bench::bench_campaign;
+use leo_core::{fig1, fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+use std::hint::black_box;
+
+fn bench_fig01_motivation(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    c.bench_function("fig01_motivation", |b| {
+        b.iter(|| black_box(fig1::run(campaign)))
+    });
+}
+
+fn bench_fig03_throughput_cdfs(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    let mut g = c.benchmark_group("fig03");
+    g.bench_function("fig03_tcp_udp_roam_mobility_updown", |b| {
+        b.iter(|| black_box(fig3::run(campaign)))
+    });
+    g.finish();
+}
+
+fn bench_fig04_latency(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    c.bench_function("fig04_latency", |b| {
+        b.iter(|| black_box(fig4::run(campaign)))
+    });
+}
+
+fn bench_fig05_loss(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    c.bench_function("fig05_loss", |b| b.iter(|| black_box(fig5::run(campaign))));
+}
+
+fn bench_fig06_speed(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    c.bench_function("fig06_speed", |b| b.iter(|| black_box(fig6::run(campaign))));
+}
+
+fn bench_fig07_parallelism(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    c.bench_function("fig07_parallelism", |b| {
+        b.iter(|| black_box(fig7::run(campaign)))
+    });
+}
+
+fn bench_fig08_area(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    c.bench_function("fig08_area", |b| b.iter(|| black_box(fig8::run(campaign))));
+}
+
+fn bench_fig09_coverage(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    c.bench_function("fig09_coverage", |b| {
+        b.iter(|| black_box(fig9::run(campaign)))
+    });
+}
+
+fn bench_fig10_mptcp(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("fig10_mptcp_boxes", |b| {
+        b.iter(|| {
+            black_box(fig10::run(
+                campaign,
+                fig10::Fig10Params {
+                    windows: 2,
+                    window_s: 60,
+                    seed: 0xbe9c,
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig11_traces(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("fig11_traces", |b| {
+        b.iter(|| {
+            black_box(fig11::run(
+                campaign,
+                fig11::Fig11Params {
+                    window_s: 60,
+                    seed: 0xbe9c,
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig01_motivation,
+    bench_fig03_throughput_cdfs,
+    bench_fig04_latency,
+    bench_fig05_loss,
+    bench_fig06_speed,
+    bench_fig07_parallelism,
+    bench_fig08_area,
+    bench_fig09_coverage,
+    bench_fig10_mptcp,
+    bench_fig11_traces,
+);
+criterion_main!(figures);

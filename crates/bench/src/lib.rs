@@ -1,0 +1,24 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `figures` — one Criterion group per paper figure, each benchmark
+//!   regenerating that figure's analysis from a cached campaign,
+//! * `engine` — microbenchmarks of the substrates: event loop, pipes,
+//!   congestion-control steps, scheduler decisions, constellation sweeps.
+
+use leo_dataset::campaign::{Campaign, CampaignConfig};
+use std::sync::OnceLock;
+
+/// A shared campaign so every figure bench measures *analysis* cost, not
+/// repeated world generation.
+pub fn bench_campaign() -> &'static Campaign {
+    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        Campaign::generate(CampaignConfig {
+            scale: 0.1,
+            seed: 0xbe9c,
+            ..CampaignConfig::default()
+        })
+    })
+}

@@ -1,0 +1,124 @@
+//! Carrier profiles.
+//!
+//! The paper measured AT&T, T-Mobile, and Verizon side by side (§3.1). The
+//! profiles below encode the qualitative differences its results exposed:
+//!
+//! * **AT&T** showed "the highest network latency among the tested
+//!   networks, likely due to its relatively low coverage along our trip"
+//!   (§4.1) and the poorest performance coverage (§5.2: ≈53 % of samples in
+//!   low/very-low regions) → sparsest deployment, least mid-band, highest
+//!   core latency.
+//! * **T-Mobile** and **Verizon** had the lowest RTTs and ≈42–44 % of
+//!   samples in high-performance regions → denser deployments; T-Mobile
+//!   gets the largest mid-band 5G share (its n41 build-out), Verizon a
+//!   dense LTE grid with mid-band in cities.
+
+use serde::{Deserialize, Serialize};
+
+/// A commercial cellular carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Carrier {
+    Att,
+    TMobile,
+    Verizon,
+}
+
+impl Carrier {
+    /// All carriers, in the paper's ATT/TM/VZ order.
+    pub const ALL: [Carrier; 3] = [Carrier::Att, Carrier::TMobile, Carrier::Verizon];
+
+    /// Short label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Carrier::Att => "ATT",
+            Carrier::TMobile => "TM",
+            Carrier::Verizon => "VZ",
+        }
+    }
+
+    /// Relative site-deployment density (1.0 = the densest carrier).
+    pub fn density_factor(&self) -> f64 {
+        match self {
+            Carrier::Att => 0.55,
+            Carrier::TMobile => 0.95,
+            Carrier::Verizon => 1.0,
+        }
+    }
+
+    /// Spacing of corridor (freeway) sites in rural stretches, km.
+    pub fn corridor_spacing_km(&self) -> f64 {
+        match self {
+            Carrier::Att => 19.0,
+            Carrier::TMobile => 10.0,
+            Carrier::Verizon => 12.0,
+        }
+    }
+
+    /// Probability that an urban/suburban site carries mid-band 5G.
+    pub fn midband_share(&self) -> f64 {
+        match self {
+            Carrier::Att => 0.22,
+            Carrier::TMobile => 0.55,
+            Carrier::Verizon => 0.45,
+        }
+    }
+
+    /// Probability that a rural site carries low-band 5G (vs. LTE only).
+    pub fn rural_lowband_share(&self) -> f64 {
+        match self {
+            Carrier::Att => 0.30,
+            Carrier::TMobile => 0.62,
+            Carrier::Verizon => 0.52,
+        }
+    }
+
+    /// Core-network RTT component (device → test server, unloaded), ms.
+    pub fn core_rtt_ms(&self) -> f64 {
+        match self {
+            Carrier::Att => 62.0,
+            Carrier::TMobile => 38.0,
+            Carrier::Verizon => 36.0,
+        }
+    }
+
+    /// Seed salt so each carrier's shadowing/load fields are independent.
+    pub fn seed_salt(&self) -> u64 {
+        match self {
+            Carrier::Att => 0xa77_0001,
+            Carrier::TMobile => 0x7e0_0002,
+            Carrier::Verizon => 0x52a_0003,
+        }
+    }
+}
+
+impl std::fmt::Display for Carrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn att_is_sparsest_and_slowest_core() {
+        assert!(Carrier::Att.density_factor() < Carrier::TMobile.density_factor());
+        assert!(Carrier::Att.density_factor() < Carrier::Verizon.density_factor());
+        assert!(Carrier::Att.core_rtt_ms() > Carrier::TMobile.core_rtt_ms());
+        assert!(Carrier::Att.core_rtt_ms() > Carrier::Verizon.core_rtt_ms());
+        assert!(Carrier::Att.corridor_spacing_km() > Carrier::Verizon.corridor_spacing_km());
+    }
+
+    #[test]
+    fn tmobile_leads_midband() {
+        assert!(Carrier::TMobile.midband_share() > Carrier::Verizon.midband_share());
+        assert!(Carrier::Verizon.midband_share() > Carrier::Att.midband_share());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = Carrier::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["ATT", "TM", "VZ"]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Base-station deployment generation and spatial lookup.
+//!
+//! §5.1: "cellular network base stations are more densely deployed in
+//! populated areas" while "deploying and operating cellular base stations
+//! in rural areas incurs much higher costs due to low population density".
+//! Deployment therefore follows population: each place gets a cluster of
+//! sites scaled by its population and the carrier's density factor, plus
+//! sparse corridor sites along the freeway spine connecting the places.
+
+use crate::carrier::Carrier;
+use leo_geo::places::PlaceDb;
+use leo_geo::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Radio access technology of a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rat {
+    /// 4G LTE.
+    Lte,
+    /// Low-band 5G NR (coverage layer; speeds similar to good LTE).
+    NrLow,
+    /// Mid-band 5G NR (capacity layer; urban/suburban).
+    NrMid,
+}
+
+impl Rat {
+    /// Downlink channel bandwidth, MHz.
+    pub fn bandwidth_mhz(&self) -> f64 {
+        match self {
+            Rat::Lte => 15.0,
+            Rat::NrLow => 35.0,
+            Rat::NrMid => 80.0,
+        }
+    }
+
+    /// Practical cell range, km (beyond this the UE is out of coverage).
+    pub fn range_km(&self) -> f64 {
+        match self {
+            Rat::Lte => 14.0,
+            Rat::NrLow => 16.0,
+            Rat::NrMid => 5.0,
+        }
+    }
+}
+
+/// One cell site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaseStation {
+    pub location: GeoPoint,
+    pub rat: Rat,
+    /// Stable site identifier (index into the deployment).
+    pub id: u32,
+}
+
+/// A carrier's full deployment with a grid index for nearest-site queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    pub carrier: Carrier,
+    sites: Vec<BaseStation>,
+    /// 0.15°-cell grid index: cell → site indices.
+    #[serde(skip)]
+    grid: HashMap<(i32, i32), Vec<u32>>,
+}
+
+/// Grid cell size in degrees (~16 km north-south).
+const GRID_DEG: f64 = 0.15;
+
+fn grid_cell(p: &GeoPoint) -> (i32, i32) {
+    (
+        (p.lat_deg / GRID_DEG).floor() as i32,
+        (p.lon_deg / GRID_DEG).floor() as i32,
+    )
+}
+
+impl Deployment {
+    /// Generates the deployment for `carrier` over `places`, with corridor
+    /// sites along `corridor` waypoints (typically route polylines).
+    /// Deterministic in `(carrier, places, corridor, seed)`.
+    pub fn generate(carrier: Carrier, places: &PlaceDb, corridor: &[GeoPoint], seed: u64) -> Self {
+        let mut sites = Vec::new();
+        let salt = seed ^ carrier.seed_salt();
+
+        // 1. Population clusters around each place.
+        for (pi, place) in places.places().iter().enumerate() {
+            // Sites per place: ~1 per 12k population, scaled by carrier
+            // density, minimum 1 (every town has at least some coverage
+            // from the densest carriers).
+            let raw = place.population as f64 / 12_000.0 * carrier.density_factor();
+            let count = raw.round().max(1.0) as u32;
+            // Cluster radius grows with the urban footprint.
+            let radius_km = (place.population as f64 / 60_000.0).sqrt().clamp(1.5, 18.0);
+            for k in 0..count {
+                let h = mix(salt, (pi as u64) << 32 | k as u64);
+                let u1 = unit(h);
+                let u2 = unit(mix(h, 1));
+                let u3 = unit(mix(h, 2));
+                let bearing = u1 * 360.0;
+                // sqrt for uniform-in-disc density.
+                let dist = u2.sqrt() * radius_km;
+                let loc = place.location.destination(bearing, dist);
+                let rat = if u3 < carrier.midband_share() && place.population >= 50_000 {
+                    Rat::NrMid
+                } else if u3 < carrier.rural_lowband_share() + carrier.midband_share() {
+                    Rat::NrLow
+                } else {
+                    Rat::Lte
+                };
+                sites.push(BaseStation {
+                    location: loc,
+                    rat,
+                    id: 0, // assigned below
+                });
+            }
+        }
+
+        // 2. Corridor sites along the freeway spine.
+        let spacing = carrier.corridor_spacing_km();
+        let mut acc = spacing; // first site one spacing in
+        for w in corridor.windows(2) {
+            let seg_len = w[0].distance_km(&w[1]);
+            let bearing = w[0].bearing_deg(&w[1]);
+            while acc < seg_len {
+                let h = mix(salt, 0xc0ff_ee00 ^ (sites.len() as u64));
+                // Corridor towers sit a little off the road.
+                let off = (unit(h) - 0.5) * 2.0;
+                let loc = w[0]
+                    .destination(bearing, acc)
+                    .destination(bearing + 90.0, off);
+                let rat = if unit(mix(h, 3)) < carrier.rural_lowband_share() {
+                    Rat::NrLow
+                } else {
+                    Rat::Lte
+                };
+                sites.push(BaseStation {
+                    location: loc,
+                    rat,
+                    id: 0,
+                });
+                acc += spacing;
+            }
+            acc -= seg_len;
+        }
+
+        for (i, s) in sites.iter_mut().enumerate() {
+            s.id = i as u32;
+        }
+
+        let mut dep = Self {
+            carrier,
+            sites,
+            grid: HashMap::new(),
+        };
+        dep.rebuild_index();
+        dep
+    }
+
+    /// Rebuilds the grid index (needed after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.grid.clear();
+        for s in &self.sites {
+            self.grid
+                .entry(grid_cell(&s.location))
+                .or_default()
+                .push(s.id);
+        }
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[BaseStation] {
+        &self.sites
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the deployment has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The `n` nearest sites to `p` (by great-circle distance), searched in
+    /// growing rings of grid cells. Returns fewer when the deployment is
+    /// small or everything is far away (search stops after a 5-ring radius
+    /// ≈ 80 km, beyond any cell's range).
+    pub fn nearest_sites(&self, p: &GeoPoint, n: usize) -> Vec<(BaseStation, f64)> {
+        let (cx, cy) = grid_cell(p);
+        let mut found: Vec<(BaseStation, f64)> = Vec::new();
+        for ring in 0i32..=5 {
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    // Only the ring boundary (interior already visited).
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue;
+                    }
+                    if let Some(ids) = self.grid.get(&(cx + dx, cy + dy)) {
+                        for &id in ids {
+                            let s = self.sites[id as usize];
+                            found.push((s, s.location.distance_km(p)));
+                        }
+                    }
+                }
+            }
+            // One extra ring after first hits guarantees true nearest across
+            // cell boundaries.
+            if found.len() >= n && ring >= 1 {
+                break;
+            }
+        }
+        found.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        found.truncate(n);
+        found
+    }
+
+    /// The nearest site within its RAT's coverage range, if any.
+    pub fn serving_candidate(&self, p: &GeoPoint) -> Option<(BaseStation, f64)> {
+        self.nearest_sites(p, 4)
+            .into_iter()
+            .find(|(s, d)| *d <= s.rat.range_km())
+    }
+}
+
+/// SplitMix64 mixer for deterministic deployment randomness.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform [0,1) from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corridor() -> Vec<GeoPoint> {
+        vec![
+            GeoPoint::new(44.95, -93.20),
+            GeoPoint::new(43.05, -89.40),
+            GeoPoint::new(41.88, -87.63),
+        ]
+    }
+
+    fn deployment(carrier: Carrier) -> Deployment {
+        Deployment::generate(carrier, &PlaceDb::five_state_corridor(), &corridor(), 99)
+    }
+
+    #[test]
+    fn denser_carrier_has_more_sites() {
+        let att = deployment(Carrier::Att).len();
+        let vz = deployment(Carrier::Verizon).len();
+        assert!(vz > att, "VZ {vz} should out-deploy ATT {att}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = deployment(Carrier::TMobile);
+        let b = deployment(Carrier::TMobile);
+        assert_eq!(a.sites(), b.sites());
+    }
+
+    #[test]
+    fn urban_core_is_covered() {
+        let dep = deployment(Carrier::Verizon);
+        let (_, d) = dep
+            .serving_candidate(&GeoPoint::new(41.88, -87.63))
+            .expect("downtown must have coverage");
+        assert!(d < 5.0, "nearest urban site at {d} km");
+    }
+
+    #[test]
+    fn deep_rural_has_dead_zones_for_sparse_carrier() {
+        let dep = deployment(Carrier::Att);
+        // A point far from both places and the (eastern) corridor.
+        let p = GeoPoint::new(43.9, -100.8);
+        assert!(
+            dep.serving_candidate(&p).is_none(),
+            "expected an ATT dead zone in deep rural"
+        );
+    }
+
+    #[test]
+    fn nearest_sites_sorted_ascending() {
+        let dep = deployment(Carrier::Verizon);
+        let near = dep.nearest_sites(&GeoPoint::new(44.9, -93.2), 6);
+        assert!(!near.is_empty());
+        for w in near.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn nearest_agrees_with_brute_force() {
+        let dep = deployment(Carrier::TMobile);
+        let p = GeoPoint::new(43.4, -89.6);
+        let brute = dep
+            .sites()
+            .iter()
+            .map(|s| (s.id, s.location.distance_km(&p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let fast = dep.nearest_sites(&p, 1)[0];
+        assert_eq!(fast.0.id, brute.0);
+    }
+
+    #[test]
+    fn midband_sits_in_cities() {
+        // NrMid sites only spawn from places with ≥50k population, so every
+        // NrMid site must be within a city cluster radius (≤18 km) of one.
+        let dep = deployment(Carrier::TMobile);
+        let db = PlaceDb::five_state_corridor();
+        for s in dep.sites().iter().filter(|s| s.rat == Rat::NrMid) {
+            let (_, d) = db
+                .nearest_of_at_least(&s.location, leo_geo::places::PlaceCategory::City)
+                .unwrap();
+            assert!(d <= 18.5, "NrMid site {} km from any city", d);
+        }
+    }
+
+    #[test]
+    fn corridor_sites_exist_between_cities() {
+        let dep = deployment(Carrier::Verizon);
+        // Midpoint of the Lakeport→Brewton leg is ~180 km from either city;
+        // corridor sites must be nearby even though no place is.
+        let mid = GeoPoint::new(44.0, -91.3);
+        let near = dep.nearest_sites(&mid, 1);
+        assert!(!near.is_empty());
+        assert!(
+            near[0].1 < 25.0,
+            "nearest corridor site {} km away",
+            near[0].1
+        );
+    }
+}

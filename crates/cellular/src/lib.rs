@@ -1,0 +1,29 @@
+//! Terrestrial cellular network simulator.
+//!
+//! Stands in for the three commercial carriers the paper measured (AT&T,
+//! T-Mobile, Verizon) with a deployment-grounded model:
+//!
+//! * [`carrier`] — per-carrier profiles: deployment density, band mix,
+//!   core-network latency. The defaults encode the paper's observations
+//!   (AT&T's "relatively low coverage along our trip" and highest RTT;
+//!   Verizon/T-Mobile's lower RTTs and better high-performance coverage),
+//! * [`deployment`] — base-station placement around populated places and
+//!   along freeway corridors, with a grid spatial index for fast
+//!   nearest-site queries,
+//! * [`radio`] — log-distance path loss with hash-based shadowing, SINR,
+//!   and truncated-Shannon rate mapping per radio access technology,
+//! * [`model`] — [`CellularLinkModel`]: serving-cell selection with
+//!   hysteresis, handover, cell load, and per-second
+//!   [`leo_link::LinkCondition`] traces, the same interface the Starlink
+//!   model exposes (§2's point that the two networks' *deployment
+//!   strategies* drive their complementary coverage).
+
+pub mod carrier;
+pub mod deployment;
+pub mod model;
+pub mod radio;
+
+pub use carrier::Carrier;
+pub use deployment::{BaseStation, Deployment, Rat};
+pub use model::{CellularLinkModel, CellularModelConfig};
+pub use radio::{rate_mbps, shadowing_db, sinr_db, RadioParams};

@@ -1,0 +1,353 @@
+//! The per-carrier cellular link model.
+//!
+//! Mirrors the interface of `leo_orbit::StarlinkLinkModel`: a drive's
+//! environment samples go in, aligned per-second downlink/uplink
+//! [`LinkTrace`]s come out. Internally each second performs serving-cell
+//! selection with hysteresis over the carrier's [`Deployment`], evaluates
+//! the radio link (path loss, shadowing, SINR, truncated-Shannon rate,
+//! cell load), and adds the carrier's core-network latency.
+
+use crate::carrier::Carrier;
+use crate::deployment::{BaseStation, Deployment};
+use crate::radio::{rate_mbps, shadowing_db, sinr_db, RadioParams};
+use leo_geo::area::AreaType;
+use leo_geo::drive::EnvironmentSample;
+use leo_link::condition::LinkCondition;
+use leo_link::trace::LinkTrace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a cellular link model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellularModelConfig {
+    pub carrier: Carrier,
+    /// RNG seed; traces are a pure function of (drive, config, deployment).
+    pub seed: u64,
+    /// Uplink/downlink capacity ratio.
+    pub uplink_ratio: f64,
+    /// Baseline random loss on a healthy link (cellular links hide loss
+    /// behind HARQ/RLC retransmission, so this is small — §4.1/Fig. 5).
+    pub base_loss: f64,
+    /// Handover hysteresis, dB.
+    pub hysteresis_db: f64,
+}
+
+impl CellularModelConfig {
+    /// Default configuration for a carrier.
+    pub fn for_carrier(carrier: Carrier) -> Self {
+        Self {
+            carrier,
+            seed: 0xce11_0000,
+            uplink_ratio: 0.22,
+            base_loss: 0.0001,
+            hysteresis_db: 3.0,
+        }
+    }
+}
+
+/// The cellular link model: a deployment plus radio parameters.
+#[derive(Debug, Clone)]
+pub struct CellularLinkModel {
+    deployment: Deployment,
+    radio: RadioParams,
+    config: CellularModelConfig,
+}
+
+impl CellularLinkModel {
+    /// Creates a model over an existing deployment.
+    pub fn new(config: CellularModelConfig, deployment: Deployment) -> Self {
+        assert_eq!(
+            deployment.carrier, config.carrier,
+            "deployment and config must agree on the carrier"
+        );
+        Self {
+            deployment,
+            radio: RadioParams::default(),
+            config,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &CellularModelConfig {
+        &self.config
+    }
+
+    /// The underlying deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Per-UE airtime share band for an area type: urban cells are loaded
+    /// (many users) but dense; rural cells are lightly loaded but far.
+    fn load_band(area: AreaType) -> (f64, f64) {
+        match area {
+            AreaType::Urban => (0.35, 0.70),
+            AreaType::Suburban => (0.50, 0.90),
+            AreaType::Rural => (0.65, 1.00),
+        }
+    }
+
+    /// Generates aligned downlink and uplink traces for a drive.
+    pub fn trace_for_drive(
+        &self,
+        samples: &[EnvironmentSample],
+        areas: &[AreaType],
+    ) -> (LinkTrace, LinkTrace) {
+        assert_eq!(samples.len(), areas.len(), "one area per sample");
+        let label = self.config.carrier.label();
+        let mut down = Vec::with_capacity(samples.len());
+        let mut up = Vec::with_capacity(samples.len());
+        let mut rng = SmallRng::seed_from_u64(
+            self.config.seed
+                ^ self.config.carrier.seed_salt()
+                ^ samples.first().map(|s| s.t_s).unwrap_or(0),
+        );
+        let mut serving: Option<BaseStation> = None;
+        let mut handover_dip = 0u32;
+
+        for (sample, &area) in samples.iter().zip(areas) {
+            let segment = sample.travelled_km.floor() as u64;
+
+            // 1. Serving-cell selection with hysteresis.
+            let candidates = self.deployment.nearest_sites(&sample.position, 4);
+            let rx_of = |s: &BaseStation| {
+                let d = s.location.distance_km(&sample.position);
+                let sh = shadowing_db(&self.radio, self.config.seed, s.id, segment);
+                (self.radio.rx_power_dbm(d, sh), d, sh)
+            };
+            let best = candidates
+                .iter()
+                .map(|(s, _)| (*s, rx_of(s)))
+                .filter(|(s, (_, d, _))| *d <= s.rat.range_km())
+                .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("powers are finite"));
+
+            let serving_now = match (serving, best) {
+                (None, Some((s, _))) => {
+                    serving = Some(s);
+                    Some(s)
+                }
+                (Some(cur), Some((s, (best_rx, ..)))) => {
+                    let (cur_rx, cur_d, _) = rx_of(&cur);
+                    let cur_in_range = cur_d <= cur.rat.range_km();
+                    if !cur_in_range
+                        || (s.id != cur.id && best_rx > cur_rx + self.config.hysteresis_db)
+                    {
+                        // Handover.
+                        serving = Some(s);
+                        handover_dip = 1;
+                        Some(s)
+                    } else {
+                        Some(cur)
+                    }
+                }
+                (Some(cur), None) => {
+                    let (_, cur_d, _) = rx_of(&cur);
+                    if cur_d <= cur.rat.range_km() {
+                        Some(cur)
+                    } else {
+                        serving = None;
+                        None
+                    }
+                }
+                (None, None) => None,
+            };
+
+            let Some(site) = serving_now else {
+                down.push(LinkCondition::OUTAGE);
+                up.push(LinkCondition::OUTAGE);
+                continue;
+            };
+
+            // 2. Radio link evaluation.
+            let d_km = site.location.distance_km(&sample.position);
+            let shadow = shadowing_db(&self.radio, self.config.seed, site.id, segment);
+            let sinr = sinr_db(&self.radio, d_km, shadow);
+
+            // 3. Cell load: slowly varying per (site, 30 s slot).
+            let (lo, hi) = Self::load_band(area);
+            let slot = sample.t_s / 30;
+            let lh = load_hash(self.config.seed, site.id, slot);
+            let load_share = lo + (hi - lo) * lh;
+
+            // 4. Rate with fast fading.
+            let fade = 1.0 + rng.gen_range(-0.12..0.12);
+            let dip = if handover_dip > 0 {
+                handover_dip -= 1;
+                0.5
+            } else {
+                1.0
+            };
+            let capacity_down =
+                (rate_mbps(site.rat, sinr, load_share) * fade * dip).clamp(0.0, 450.0);
+            let capacity_up =
+                (capacity_down * self.config.uplink_ratio * (1.0 + rng.gen_range(-0.15..0.15)))
+                    .clamp(0.0, 60.0);
+
+            // 5. RTT: core network + air-interface scheduling + a small
+            // distance term; loaded urban cells queue a little more.
+            let jitter: f64 = rng.gen_range(3.0..16.0);
+            let load_extra = (1.0 - load_share) * 12.0;
+            let edge_extra = if sinr < 3.0 {
+                rng.gen_range(5.0..25.0)
+            } else {
+                0.0
+            };
+            let rtt =
+                self.config.carrier.core_rtt_ms() + jitter + load_extra + edge_extra + d_km * 0.05;
+
+            // 6. Loss: tiny baseline, worse at the cell edge and during
+            // handover.
+            let edge_loss = if sinr < 0.0 { 0.002 } else { 0.0 };
+            let ho_loss = if dip < 1.0 { 0.008 } else { 0.0 };
+            let loss_down = (self.config.base_loss + edge_loss + ho_loss).clamp(0.0, 1.0);
+            let loss_up = (loss_down * 1.3).clamp(0.0, 1.0);
+
+            down.push(LinkCondition::new(capacity_down, rtt, loss_down));
+            up.push(LinkCondition::new(capacity_up, rtt, loss_up));
+        }
+
+        let start = samples.first().map(|s| s.t_s).unwrap_or(0);
+        (
+            LinkTrace::new(label, start, down),
+            LinkTrace::new(format!("{label}-up"), start, up),
+        )
+    }
+}
+
+/// Uniform [0,1) hash for cell load, keyed by (seed, site, slot).
+fn load_hash(seed: u64, site_id: u32, slot: u64) -> f64 {
+    let mut z = seed ^ ((site_id as u64) << 40) ^ slot.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_geo::drive::{DayPhase, Weather};
+    use leo_geo::places::PlaceDb;
+    use leo_geo::point::GeoPoint;
+
+    fn corridor() -> Vec<GeoPoint> {
+        vec![
+            GeoPoint::new(44.95, -93.20),
+            GeoPoint::new(43.05, -89.40),
+            GeoPoint::new(41.88, -87.63),
+        ]
+    }
+
+    fn model(carrier: Carrier) -> CellularLinkModel {
+        let dep = Deployment::generate(carrier, &PlaceDb::five_state_corridor(), &corridor(), 99);
+        CellularLinkModel::new(CellularModelConfig::for_carrier(carrier), dep)
+    }
+
+    /// A drive circling inside the given area.
+    fn drive_at(center: GeoPoint, len_s: u64) -> Vec<EnvironmentSample> {
+        (0..len_s)
+            .map(|t| EnvironmentSample {
+                t_s: t,
+                position: center.destination((t % 360) as f64, 0.5 + (t as f64 * 0.013) % 3.0),
+                speed_kmh: 45.0,
+                heading_deg: 90.0,
+                day_phase: DayPhase::Day,
+                weather: Weather::Clear,
+                travelled_km: t as f64 * 0.0125,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn urban_verizon_is_fast() {
+        let m = model(Carrier::Verizon);
+        let s = drive_at(GeoPoint::new(41.88, -87.63), 600);
+        let a = vec![AreaType::Urban; s.len()];
+        let stats = m.trace_for_drive(&s, &a).0.stats().unwrap();
+        assert!(
+            stats.mean_mbps > 60.0,
+            "urban VZ mean {} too low",
+            stats.mean_mbps
+        );
+        assert!(stats.outage_frac < 0.05);
+    }
+
+    #[test]
+    fn deep_rural_att_is_mostly_dead() {
+        let m = model(Carrier::Att);
+        let s = drive_at(GeoPoint::new(43.9, -100.8), 300);
+        let a = vec![AreaType::Rural; s.len()];
+        let stats = m.trace_for_drive(&s, &a).0.stats().unwrap();
+        assert!(
+            stats.outage_frac > 0.5,
+            "ATT deep-rural outage {} too low",
+            stats.outage_frac
+        );
+    }
+
+    #[test]
+    fn rural_corridor_still_covered_by_tmobile() {
+        // On the freeway between cities, corridor sites keep TM alive.
+        let m = model(Carrier::TMobile);
+        let s = drive_at(GeoPoint::new(44.0, -91.3), 300);
+        let a = vec![AreaType::Rural; s.len()];
+        let stats = m.trace_for_drive(&s, &a).0.stats().unwrap();
+        assert!(
+            stats.outage_frac < 0.4,
+            "TM corridor outage {}",
+            stats.outage_frac
+        );
+    }
+
+    #[test]
+    fn att_rtt_exceeds_verizon() {
+        let satt = drive_at(GeoPoint::new(41.88, -87.63), 400);
+        let a = vec![AreaType::Urban; satt.len()];
+        let att = model(Carrier::Att).trace_for_drive(&satt, &a).0;
+        let vz = model(Carrier::Verizon).trace_for_drive(&satt, &a).0;
+        let att_rtt = att.stats().unwrap().mean_rtt_ms;
+        let vz_rtt = vz.stats().unwrap().mean_rtt_ms;
+        assert!(att_rtt > vz_rtt + 10.0, "ATT RTT {att_rtt} vs VZ {vz_rtt}");
+    }
+
+    #[test]
+    fn cellular_loss_is_much_lower_than_starlink_band() {
+        // Fig. 5: cellular retransmission rates sit well below Starlink's
+        // 0.3–1.3 %.
+        let m = model(Carrier::Verizon);
+        let s = drive_at(GeoPoint::new(41.88, -87.63), 600);
+        let a = vec![AreaType::Urban; s.len()];
+        let loss = m.trace_for_drive(&s, &a).0.stats().unwrap().mean_loss;
+        assert!(loss < 0.003, "cellular loss {loss}");
+    }
+
+    #[test]
+    fn uplink_is_fraction_of_downlink() {
+        let m = model(Carrier::TMobile);
+        let s = drive_at(GeoPoint::new(43.05, -89.40), 400);
+        let a = vec![AreaType::Urban; s.len()];
+        let (down, up) = m.trace_for_drive(&s, &a);
+        let ratio = up.stats().unwrap().mean_mbps / down.stats().unwrap().mean_mbps;
+        assert!((0.12..0.35).contains(&ratio), "up/down ratio {ratio}");
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let m = model(Carrier::Verizon);
+        let s = drive_at(GeoPoint::new(44.95, -93.2), 200);
+        let a = vec![AreaType::Urban; s.len()];
+        assert_eq!(m.trace_for_drive(&s, &a), m.trace_for_drive(&s, &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "carrier")]
+    fn mismatched_carrier_panics() {
+        let dep = Deployment::generate(
+            Carrier::Att,
+            &PlaceDb::five_state_corridor(),
+            &corridor(),
+            1,
+        );
+        CellularLinkModel::new(CellularModelConfig::for_carrier(Carrier::Verizon), dep);
+    }
+}

@@ -1,0 +1,177 @@
+//! Radio propagation and rate mapping.
+//!
+//! A deliberately classical stack: log-distance path loss with log-normal
+//! shadowing, an SINR budget, and a truncated-Shannon spectral-efficiency
+//! map per RAT. The goal is not RF-planning accuracy but reproducing the
+//! *coverage-versus-distance structure* the paper's Figures 8–9 rest on:
+//! fast cells close to dense deployments, decaying throughput with
+//! distance, and out-of-coverage dead zones where deployments are sparse.
+
+use crate::deployment::Rat;
+use serde::{Deserialize, Serialize};
+
+/// Propagation and link-budget parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RadioParams {
+    /// Path-loss exponent (3.0–4.0 urban, lower in open country).
+    pub path_loss_exp: f64,
+    /// Path loss at the 1 km reference distance, dB.
+    pub pl_1km_db: f64,
+    /// Site EIRP + UE antenna gains, dBm.
+    pub eirp_dbm: f64,
+    /// Shadowing standard deviation, dB.
+    pub shadow_sigma_db: f64,
+    /// Interference-plus-noise floor for SINR, dBm (includes a margin for
+    /// neighbour-cell interference).
+    pub noise_floor_dbm: f64,
+}
+
+impl Default for RadioParams {
+    fn default() -> Self {
+        Self {
+            path_loss_exp: 3.2,
+            pl_1km_db: 120.0,
+            eirp_dbm: 58.0,
+            shadow_sigma_db: 6.5,
+            noise_floor_dbm: -98.0,
+        }
+    }
+}
+
+impl RadioParams {
+    /// Log-distance path loss at `d_km`, dB.
+    pub fn path_loss_db(&self, d_km: f64) -> f64 {
+        let d = d_km.max(0.05);
+        self.pl_1km_db + 10.0 * self.path_loss_exp * d.log10()
+    }
+
+    /// Received power at `d_km` with the given shadowing realisation, dBm.
+    pub fn rx_power_dbm(&self, d_km: f64, shadow_db: f64) -> f64 {
+        self.eirp_dbm - self.path_loss_db(d_km) + shadow_db
+    }
+}
+
+/// SINR (dB) at distance `d_km` with shadowing `shadow_db`.
+pub fn sinr_db(params: &RadioParams, d_km: f64, shadow_db: f64) -> f64 {
+    params.rx_power_dbm(d_km, shadow_db) - params.noise_floor_dbm
+}
+
+/// Downlink rate (Mbps) from SINR for a RAT: truncated Shannon with
+/// protocol overhead.
+///
+/// `load_share` is the fraction of cell airtime this UE receives
+/// (1.0 = sole user).
+pub fn rate_mbps(rat: Rat, sinr_db: f64, load_share: f64) -> f64 {
+    // Truncated Shannon: zero below -6 dB, capped at the RAT's top
+    // modulation efficiency, 75 % protocol efficiency.
+    if sinr_db < -6.0 {
+        return 0.0;
+    }
+    let sinr_lin = 10f64.powf(sinr_db / 10.0);
+    let eff_cap = match rat {
+        Rat::Lte => 5.6,   // 64-QAM 4×4 practical ceiling
+        Rat::NrLow => 6.2, // 256-QAM low-band
+        Rat::NrMid => 7.0, // 256-QAM massive MIMO
+    };
+    let eff = (1.0 + sinr_lin).log2().min(eff_cap) * 0.75;
+    (eff * rat.bandwidth_mhz() * load_share.clamp(0.0, 1.0)).max(0.0)
+}
+
+/// Deterministic per-(site, road-segment) shadowing draw, N(0, σ) dB.
+///
+/// Hash-based so that revisiting the same spot reproduces the same
+/// shadowing — shadowing is a property of the environment, not of time.
+pub fn shadowing_db(params: &RadioParams, seed: u64, site_id: u32, segment: u64) -> f64 {
+    let h = mix(seed ^ (site_id as u64) << 17, segment);
+    // Box-Muller from two hash-derived uniforms.
+    let u1 = ((h >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+    let u2 = (mix(h, 0xabcd) >> 11) as f64 / (1u64 << 53) as f64;
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    z * params.shadow_sigma_db
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_loss_increases_with_distance() {
+        let p = RadioParams::default();
+        assert!(p.path_loss_db(2.0) > p.path_loss_db(1.0));
+        assert!(p.path_loss_db(10.0) > p.path_loss_db(2.0));
+        // 10× distance adds 10·n dB.
+        let delta = p.path_loss_db(10.0) - p.path_loss_db(1.0);
+        assert!((delta - 32.0).abs() < 1e-9, "got {delta}");
+    }
+
+    #[test]
+    fn rate_zero_below_threshold() {
+        assert_eq!(rate_mbps(Rat::Lte, -10.0, 1.0), 0.0);
+        assert!(rate_mbps(Rat::Lte, 0.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn rate_caps_at_high_sinr() {
+        // Beyond the efficiency cap, more SINR buys nothing.
+        let r30 = rate_mbps(Rat::Lte, 30.0, 1.0);
+        let r50 = rate_mbps(Rat::Lte, 50.0, 1.0);
+        assert_eq!(r30, r50);
+        // LTE cap: 5.6 × 0.75 × 15 MHz = 63 Mbps.
+        assert!((r30 - 63.0).abs() < 0.5, "got {r30}");
+    }
+
+    #[test]
+    fn midband_is_much_faster_than_lte() {
+        let lte = rate_mbps(Rat::Lte, 22.0, 1.0);
+        let mid = rate_mbps(Rat::NrMid, 22.0, 1.0);
+        assert!(mid > 3.0 * lte, "NrMid {mid} vs LTE {lte}");
+        // NrMid at good SINR should exceed 300 Mbps.
+        assert!(rate_mbps(Rat::NrMid, 30.0, 1.0) > 300.0);
+    }
+
+    #[test]
+    fn load_share_scales_rate() {
+        let full = rate_mbps(Rat::NrMid, 20.0, 1.0);
+        let half = rate_mbps(Rat::NrMid, 20.0, 0.5);
+        assert!((half - full / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn close_cell_has_usable_sinr() {
+        let p = RadioParams::default();
+        let s = sinr_db(&p, 0.5, 0.0);
+        assert!(s > 15.0, "SINR at 500 m is {s} dB");
+    }
+
+    #[test]
+    fn cell_edge_sinr_is_marginal() {
+        let p = RadioParams::default();
+        let s = sinr_db(&p, 14.0, 0.0);
+        assert!((-8.0..8.0).contains(&s), "cell-edge SINR {s} dB");
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_and_zero_mean() {
+        let p = RadioParams::default();
+        assert_eq!(shadowing_db(&p, 1, 42, 100), shadowing_db(&p, 1, 42, 100));
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|i| shadowing_db(&p, 7, 3, i)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.2, "shadowing mean {mean}");
+        let var: f64 = (0..n)
+            .map(|i| shadowing_db(&p, 7, 3, i).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (var.sqrt() - p.shadow_sigma_db).abs() < 0.3,
+            "shadowing σ {}",
+            var.sqrt()
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 1 — motivation: download-throughput heat strips of four
+//! networks over a shared 1,200-second drive segment.
+//!
+//! "Our results are summarized in Figure 1, where darker colors indicate
+//! periods of higher throughput. As we traversed different areas, we can
+//! observe instances where Starlink demonstrated better throughput
+//! performance compared to the cellular network, and vice versa."
+
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::NetworkId;
+use serde::{Deserialize, Serialize};
+
+/// Window length in seconds (the paper's x-axis runs to 1,200 s).
+pub const WINDOW_S: u64 = 1200;
+
+/// The four networks Figure 1 shows, top to bottom.
+pub const NETWORKS: [NetworkId; 4] = [
+    NetworkId::Mobility,
+    NetworkId::Verizon,
+    NetworkId::TMobile,
+    NetworkId::Att,
+];
+
+/// Per-network, per-second downlink throughput over the window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Data {
+    /// `(label, per-second Mbps)`, in figure order.
+    pub strips: Vec<(String, Vec<f64>)>,
+    /// Scale ceiling for the colour map, Mbps (the paper's 375).
+    pub v_max: f64,
+}
+
+/// Extracts the Figure 1 window from a campaign.
+///
+/// The window starts a quarter into the drive, which at full scale places
+/// it on a mixed urban/suburban-to-rural transition where the
+/// complementarity is visible.
+pub fn run(campaign: &Campaign) -> Fig1Data {
+    let timeline = campaign.samples.len() as u64;
+    let start = timeline / 4;
+    let len = WINDOW_S.min(timeline.saturating_sub(start)).max(1);
+    let strips = NETWORKS
+        .iter()
+        .map(|&n| {
+            let (down, _) = &campaign.traces[&n];
+            let series: Vec<f64> = (start..start + len)
+                .map(|t| {
+                    down.at(t)
+                        .map(|c| c.capacity_mbps * (1.0 - c.loss))
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            (n.label().to_string(), series)
+        })
+        .collect();
+    Fig1Data {
+        strips,
+        v_max: 375.0,
+    }
+}
+
+/// Renders the heat strips.
+pub fn render(data: &Fig1Data) -> String {
+    let mut out = String::from("Figure 1: Download throughput of different networks\n");
+    out.push_str("(darker = higher throughput; window of the drive, left→right in time)\n");
+    for (label, series) in &data.strips {
+        out.push_str(&leo_analysis::render::render_heat_strip(
+            label, series, data.v_max, 80,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{shared_campaign, small_campaign};
+
+    #[test]
+    fn strips_cover_four_networks_and_vary() {
+        let data = run(small_campaign());
+        assert_eq!(data.strips.len(), 4);
+        assert_eq!(data.strips[0].0, "MOB");
+        for (label, series) in &data.strips {
+            assert!(!series.is_empty(), "{label} strip empty");
+            let max = series.iter().cloned().fold(0.0, f64::max);
+            assert!(max > 1.0, "{label} never gets any throughput");
+        }
+        let rendered = render(&data);
+        assert!(rendered.contains("MOB"));
+        assert!(rendered.contains("ATT"));
+    }
+
+    #[test]
+    fn complementarity_exists_somewhere() {
+        // The figure's entire point: at some instants Starlink wins, at
+        // others a cellular network wins.
+        let data = run(shared_campaign());
+        let mob = &data.strips[0].1;
+        let vz = &data.strips[1].1;
+        let n = mob.len().min(vz.len());
+        let mob_wins = (0..n).filter(|&i| mob[i] > vz[i] + 5.0).count();
+        let vz_wins = (0..n).filter(|&i| vz[i] > mob[i] + 5.0).count();
+        assert!(
+            mob_wins > 0 && vz_wins > 0,
+            "no complementarity: MOB wins {mob_wins}, VZ wins {vz_wins}"
+        );
+    }
+}

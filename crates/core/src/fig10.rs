@@ -1,0 +1,268 @@
+//! Figure 10 — single-path TCP vs. MPTCP download performance, tuned and
+//! untuned buffers.
+//!
+//! "The first three boxes represent the single-path TCP transfer results
+//! under AT&T, Verizon, and Mobility … The benefits of MPTCP are clear …
+//! the bandwidth utilization of the two tested combinations is 81% and
+//! 84%, and the improvement over the better path reaches 30% and 66% …
+//! with the default buffer sizes, MPTCP has marginal improvements over
+//! single-path transfers."
+
+use crate::mptcp_emu::{buffer_packets, run_mptcp, run_single_path, BufferTuning};
+use leo_analysis::stats::{improvement_pct, BoxStats};
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::NetworkId;
+use leo_transport::mptcp::SchedulerKind;
+use serde::{Deserialize, Serialize};
+
+/// Per-configuration download means across emulation windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Data {
+    /// `(box label, per-window mean Mbps)` in figure order:
+    /// ATT, VZ, MOB, MOB+ATT, MOB+VZ, then untuned MOB+ATT / MOB+VZ.
+    pub boxes: Vec<(String, Vec<f64>)>,
+    /// Mean bandwidth utilisation of the tuned combinations (delivered /
+    /// sum of path capacities).
+    pub utilisation: Vec<(String, f64)>,
+    /// Improvement of each tuned combination over its better single path.
+    pub improvement_over_better: Vec<(String, f64)>,
+}
+
+/// Parameters of the Figure 10 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Params {
+    /// Number of emulation windows.
+    pub windows: usize,
+    /// Window length, seconds (the paper ran 5-minute downloads).
+    pub window_s: u64,
+    pub seed: u64,
+}
+
+impl Default for Fig10Params {
+    fn default() -> Self {
+        Self {
+            windows: 6,
+            window_s: 300,
+            seed: 0xf1610,
+        }
+    }
+}
+
+impl Fig10Params {
+    /// A fast configuration for unit tests.
+    pub fn quick() -> Self {
+        Self {
+            windows: 2,
+            window_s: 45,
+            seed: 0xf1610,
+        }
+    }
+}
+
+/// Picks the emulation windows: candidate windows are scored by the
+/// *worst* network's mean capacity and the best `count` survive — the
+/// paper ran its 5-minute downloads on drive segments where every network
+/// had service, not inside urban satellite dead zones.
+pub fn select_windows(campaign: &Campaign, count: usize, span: u64) -> Vec<u64> {
+    let timeline = campaign.samples.len() as u64;
+    let usable = timeline.saturating_sub(span);
+    let candidates = (count * 4).max(8) as u64;
+    let stride = (usable / candidates).max(1);
+    let mut scored: Vec<(f64, u64)> = (0..candidates)
+        .map(|i| {
+            let t0 = (i * stride).min(usable);
+            let score = [NetworkId::Att, NetworkId::Verizon, NetworkId::Mobility]
+                .iter()
+                .map(|n| {
+                    campaign.traces[n]
+                        .0
+                        .window(t0, t0 + span)
+                        .stats()
+                        .map(|s| s.mean_mbps)
+                        .unwrap_or(0.0)
+                })
+                .fold(f64::INFINITY, f64::min);
+            (score, t0)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let mut picked: Vec<u64> = scored.into_iter().take(count).map(|(_, t)| t).collect();
+    picked.sort_unstable();
+    picked
+}
+
+/// Runs the Figure 10 emulation sweep.
+pub fn run(campaign: &Campaign, params: Fig10Params) -> Fig10Data {
+    let span = params.window_s;
+    let windows = select_windows(campaign, params.windows, span);
+
+    let trace = |n: NetworkId| &campaign.traces[&n].0;
+    let mut results: Vec<(String, Vec<f64>)> = [
+        "ATT",
+        "VZ",
+        "MOB",
+        "MOB+ATT",
+        "MOB+VZ",
+        "MOB+ATT (untuned)",
+        "MOB+VZ (untuned)",
+    ]
+    .iter()
+    .map(|l| (l.to_string(), Vec::new()))
+    .collect();
+    let mut caps_mob_att = Vec::new();
+    let mut caps_mob_vz = Vec::new();
+
+    for (w, &t0) in windows.iter().enumerate() {
+        let t1 = t0 + span;
+        let att = trace(NetworkId::Att).window(t0, t1);
+        let vz = trace(NetworkId::Verizon).window(t0, t1);
+        let mob = trace(NetworkId::Mobility).window(t0, t1);
+        let seed = params.seed ^ (w as u64);
+
+        results[0].1.push(run_single_path(&att, seed).mean_mbps);
+        results[1].1.push(run_single_path(&vz, seed).mean_mbps);
+        results[2].1.push(run_single_path(&mob, seed).mean_mbps);
+        results[3]
+            .1
+            .push(run_mptcp(&mob, &att, SchedulerKind::Blest, BufferTuning::Tuned, seed).mean_mbps);
+        results[4]
+            .1
+            .push(run_mptcp(&mob, &vz, SchedulerKind::Blest, BufferTuning::Tuned, seed).mean_mbps);
+        results[5].1.push(
+            run_mptcp(
+                &mob,
+                &att,
+                SchedulerKind::Blest,
+                BufferTuning::Default,
+                seed,
+            )
+            .mean_mbps,
+        );
+        results[6].1.push(
+            run_mptcp(&mob, &vz, SchedulerKind::Blest, BufferTuning::Default, seed).mean_mbps,
+        );
+
+        let cap = |t: &leo_link::trace::LinkTrace| t.stats().map(|s| s.mean_mbps).unwrap_or(0.0);
+        caps_mob_att.push(cap(&mob) + cap(&att));
+        caps_mob_vz.push(cap(&mob) + cap(&vz));
+        // Untuned buffer sanity: it must actually be smaller.
+        debug_assert!(
+            buffer_packets(BufferTuning::Default, &mob, &att)
+                < buffer_packets(BufferTuning::Tuned, &mob, &att)
+        );
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let utilisation = vec![
+        (
+            "MOB+ATT".to_string(),
+            mean(&results[3].1) / mean(&caps_mob_att).max(1e-9),
+        ),
+        (
+            "MOB+VZ".to_string(),
+            mean(&results[4].1) / mean(&caps_mob_vz).max(1e-9),
+        ),
+    ];
+    let improvement_over_better = vec![
+        (
+            "MOB+ATT".to_string(),
+            improvement_pct(
+                mean(&results[0].1).max(mean(&results[2].1)),
+                mean(&results[3].1),
+            ),
+        ),
+        (
+            "MOB+VZ".to_string(),
+            improvement_pct(
+                mean(&results[1].1).max(mean(&results[2].1)),
+                mean(&results[4].1),
+            ),
+        ),
+    ];
+
+    Fig10Data {
+        boxes: results,
+        utilisation,
+        improvement_over_better,
+    }
+}
+
+/// Renders the box summaries.
+pub fn render(data: &Fig10Data) -> String {
+    let mut out = String::from("Figure 10: Single-path TCP and MPTCP data download performance\n");
+    for (label, samples) in &data.boxes {
+        match BoxStats::from_samples(samples) {
+            Some(s) => out.push_str(&leo_analysis::render::render_box_row(label, &s, 400.0, 60)),
+            None => out.push_str(&format!("{label:>6} | (no windows)\n")),
+        }
+    }
+    out.push('\n');
+    for (label, u) in &data.utilisation {
+        out.push_str(&format!(
+            "  {label} bandwidth utilisation: {:.0}%\n",
+            u * 100.0
+        ));
+    }
+    for (label, imp) in &data.improvement_over_better {
+        out.push_str(&format!(
+            "  {label} improvement over better path: {imp:+.0}%\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    #[test]
+    fn tuned_mptcp_beats_single_paths() {
+        let d = run(shared_campaign(), Fig10Params::quick());
+        let mean = |l: &str| {
+            let (_, v) = d.boxes.iter().find(|(bl, _)| bl == l).unwrap();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let best_single = mean("ATT").max(mean("VZ")).max(mean("MOB"));
+        let mp = mean("MOB+VZ").max(mean("MOB+ATT"));
+        assert!(
+            mp > best_single * 0.95,
+            "tuned MPTCP {mp} should at least match the better path {best_single}"
+        );
+    }
+
+    #[test]
+    fn untuned_is_worse_than_tuned() {
+        let d = run(shared_campaign(), Fig10Params::quick());
+        let mean = |l: &str| {
+            let (_, v) = d.boxes.iter().find(|(bl, _)| bl == l).unwrap();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean("MOB+VZ (untuned)") <= mean("MOB+VZ") * 1.05,
+            "untuned {} vs tuned {}",
+            mean("MOB+VZ (untuned)"),
+            mean("MOB+VZ")
+        );
+    }
+
+    #[test]
+    fn utilisation_is_a_sane_fraction() {
+        let d = run(shared_campaign(), Fig10Params::quick());
+        for (label, u) in &d.utilisation {
+            assert!(
+                (0.2..=1.05).contains(u),
+                "{label} utilisation {u} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_boxes() {
+        let d = run(shared_campaign(), Fig10Params::quick());
+        let s = render(&d);
+        assert!(s.contains("MOB+ATT"));
+        assert!(s.contains("untuned"));
+        assert!(s.contains("utilisation"));
+    }
+}

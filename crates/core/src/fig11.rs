@@ -1,0 +1,179 @@
+//! Figure 11 — throughput over time: MPTCP vs. each single path, for
+//! Mobility+AT&T and Mobility+Verizon.
+//!
+//! "MPTCP almost always outperforms either single-path transfer, taking
+//! advantage of the bandwidth of the faster path … when both network
+//! conditions are favorable … MPTCP throughput exceeds 300 Mbps which can
+//! never be achieved by either network alone."
+
+use crate::mptcp_emu::{run_mptcp, run_single_path, BufferTuning};
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::NetworkId;
+use leo_transport::mptcp::SchedulerKind;
+use serde::{Deserialize, Serialize};
+
+/// One panel: per-second series for the two single paths and MPTCP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Panel {
+    pub title: String,
+    pub single_a: (String, Vec<f64>),
+    pub single_b: (String, Vec<f64>),
+    pub mptcp: Vec<f64>,
+}
+
+/// Both panels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Data {
+    pub panels: Vec<Fig11Panel>,
+}
+
+/// Parameters of the Figure 11 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Params {
+    /// Window length, seconds (the paper shows 300 s).
+    pub window_s: u64,
+    pub seed: u64,
+}
+
+impl Default for Fig11Params {
+    fn default() -> Self {
+        Self {
+            window_s: 300,
+            seed: 0xf1611,
+        }
+    }
+}
+
+impl Fig11Params {
+    /// A fast configuration for unit tests.
+    pub fn quick() -> Self {
+        Self {
+            window_s: 40,
+            seed: 0xf1611,
+        }
+    }
+}
+
+/// Runs both panels on the best emulation window (every network live —
+/// the same segment-selection rule as Figure 10).
+pub fn run(campaign: &Campaign, params: Fig11Params) -> Fig11Data {
+    let t0 = crate::fig10::select_windows(campaign, 1, params.window_s)
+        .first()
+        .copied()
+        .unwrap_or(0);
+    let t1 = t0 + params.window_s.min(campaign.samples.len() as u64);
+    let trace = |n: NetworkId| campaign.traces[&n].0.window(t0, t1);
+
+    let mob = trace(NetworkId::Mobility);
+    let panels = [
+        (NetworkId::Att, "(a) Mobility and AT&T"),
+        (NetworkId::Verizon, "(b) Mobility and Verizon"),
+    ]
+    .into_iter()
+    .map(|(cell, title)| {
+        let ct = trace(cell);
+        let sm = run_single_path(&mob, params.seed);
+        let sc = run_single_path(&ct, params.seed);
+        let mp = run_mptcp(
+            &mob,
+            &ct,
+            SchedulerKind::Blest,
+            BufferTuning::Tuned,
+            params.seed,
+        );
+        Fig11Panel {
+            title: title.to_string(),
+            single_a: ("MOB".to_string(), sm.per_second_mbps),
+            single_b: (cell.label().to_string(), sc.per_second_mbps),
+            mptcp: mp.per_second_mbps,
+        }
+    })
+    .collect();
+    Fig11Data { panels }
+}
+
+/// Fraction of seconds where MPTCP is at least as fast as both singles.
+pub fn mptcp_dominance(panel: &Fig11Panel) -> f64 {
+    let n = panel
+        .mptcp
+        .len()
+        .min(panel.single_a.1.len())
+        .min(panel.single_b.1.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let wins = (0..n)
+        .filter(|&i| panel.mptcp[i] + 1.0 >= panel.single_a.1[i].max(panel.single_b.1[i]) * 0.9)
+        .count();
+    wins as f64 / n as f64
+}
+
+/// Renders both panels as heat strips plus a dominance summary.
+pub fn render(data: &Fig11Data) -> String {
+    let mut out = String::from("Figure 11: Throughput traces, single-path TCP vs MPTCP\n");
+    for p in &data.panels {
+        out.push_str(&format!("\n{}\n", p.title));
+        out.push_str(&leo_analysis::render::render_heat_strip(
+            &p.single_a.0,
+            &p.single_a.1,
+            400.0,
+            80,
+        ));
+        out.push_str(&leo_analysis::render::render_heat_strip(
+            &p.single_b.0,
+            &p.single_b.1,
+            400.0,
+            80,
+        ));
+        out.push_str(&leo_analysis::render::render_heat_strip(
+            "MPTCP", &p.mptcp, 400.0, 80,
+        ));
+        out.push_str(&format!(
+            "  MPTCP ≥ max(single paths) in {:.0}% of seconds\n",
+            mptcp_dominance(p) * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    #[test]
+    fn panels_have_aligned_series() {
+        let c = shared_campaign();
+        let d = run(c, Fig11Params::quick());
+        assert_eq!(d.panels.len(), 2);
+        for p in &d.panels {
+            assert_eq!(p.mptcp.len(), p.single_a.1.len());
+            assert_eq!(p.mptcp.len(), p.single_b.1.len());
+            assert!(!p.mptcp.is_empty());
+        }
+    }
+
+    #[test]
+    fn mptcp_mostly_dominates() {
+        let c = shared_campaign();
+        let d = run(c, Fig11Params::quick());
+        for p in &d.panels {
+            let dom = mptcp_dominance(p);
+            assert!(
+                dom > 0.5,
+                "{}: MPTCP dominates only {:.0}% of seconds",
+                p.title,
+                dom * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn render_includes_both_panels() {
+        let c = shared_campaign();
+        let s = render(&run(c, Fig11Params::quick()));
+        assert!(s.contains("(a) Mobility and AT&T"));
+        assert!(s.contains("(b) Mobility and Verizon"));
+        assert!(s.contains("MPTCP"));
+    }
+}

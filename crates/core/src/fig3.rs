@@ -1,0 +1,209 @@
+//! Figure 3 — throughput CDFs from three aspects:
+//! (a) TCP vs. UDP downlink (Mobility vs. pooled cellular),
+//! (b) Roam vs. Mobility (UDP downlink),
+//! (c) Starlink uplink vs. downlink (UDP, Mobility).
+
+use leo_analysis::cdf::Cdf;
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::{NetworkId, TestKind};
+use leo_link::condition::Direction;
+use serde::{Deserialize, Serialize};
+
+/// One labelled CDF sample set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelledSamples {
+    pub label: String,
+    pub mbps: Vec<f64>,
+}
+
+impl LabelledSamples {
+    /// Builds the CDF (panics only if samples were non-finite, which the
+    /// campaign never produces).
+    pub fn cdf(&self) -> Cdf {
+        Cdf::new(self.mbps.clone())
+    }
+}
+
+/// All three panels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Data {
+    /// Panel (a): MOB-TCP, Cellular-TCP, MOB-UDP, Cellular-UDP.
+    pub tcp_vs_udp: Vec<LabelledSamples>,
+    /// Panel (b): RM vs MOB, UDP downlink.
+    pub roam_vs_mobility: Vec<LabelledSamples>,
+    /// Panel (c): uplink vs downlink, UDP, Mobility.
+    pub up_vs_down: Vec<LabelledSamples>,
+}
+
+fn collect(
+    campaign: &Campaign,
+    networks: &[NetworkId],
+    kind_filter: impl Fn(TestKind) -> bool,
+    direction: Direction,
+) -> Vec<f64> {
+    campaign
+        .records
+        .iter()
+        .filter(|r| {
+            networks.contains(&r.network) && kind_filter(r.kind) && r.direction == direction
+        })
+        .map(|r| r.mean_mbps)
+        .collect()
+}
+
+/// Runs the Figure 3 analysis over the campaign records.
+pub fn run(campaign: &Campaign) -> Fig3Data {
+    let is_udp = |k: TestKind| k == TestKind::Udp;
+    let is_tcp1 = |k: TestKind| k == TestKind::Tcp { parallel: 1 };
+    let mob = [NetworkId::Mobility];
+    let rm = [NetworkId::Roam];
+    let cell = NetworkId::CELLULAR;
+
+    let tcp_vs_udp = vec![
+        LabelledSamples {
+            label: "MOB-TCP".into(),
+            mbps: collect(campaign, &mob, is_tcp1, Direction::Down),
+        },
+        LabelledSamples {
+            label: "Cellular-TCP".into(),
+            mbps: collect(campaign, &cell, is_tcp1, Direction::Down),
+        },
+        LabelledSamples {
+            label: "MOB-UDP".into(),
+            mbps: collect(campaign, &mob, is_udp, Direction::Down),
+        },
+        LabelledSamples {
+            label: "Cellular-UDP".into(),
+            mbps: collect(campaign, &cell, is_udp, Direction::Down),
+        },
+    ];
+    let roam_vs_mobility = vec![
+        LabelledSamples {
+            label: "RM".into(),
+            mbps: collect(campaign, &rm, is_udp, Direction::Down),
+        },
+        LabelledSamples {
+            label: "MOB".into(),
+            mbps: collect(campaign, &mob, is_udp, Direction::Down),
+        },
+    ];
+    let up_vs_down = vec![
+        LabelledSamples {
+            label: "Uplink".into(),
+            mbps: collect(campaign, &mob, is_udp, Direction::Up),
+        },
+        LabelledSamples {
+            label: "Downlink".into(),
+            mbps: collect(campaign, &mob, is_udp, Direction::Down),
+        },
+    ];
+    Fig3Data {
+        tcp_vs_udp,
+        roam_vs_mobility,
+        up_vs_down,
+    }
+}
+
+/// Renders all three panels as ASCII CDF plots plus summary lines.
+pub fn render(data: &Fig3Data) -> String {
+    let mut out = String::from("Figure 3: Throughput performance comparison\n");
+    for (title, sets) in [
+        ("(a) TCP vs. UDP", &data.tcp_vs_udp),
+        ("(b) Roam vs. Mobility", &data.roam_vs_mobility),
+        ("(c) Uplink vs. Downlink", &data.up_vs_down),
+    ] {
+        out.push_str(&format!("\n{title}\n"));
+        let cdfs: Vec<(String, Cdf)> = sets
+            .iter()
+            .filter(|s| !s.mbps.is_empty())
+            .map(|s| (s.label.clone(), s.cdf()))
+            .collect();
+        let refs: Vec<(&str, &Cdf)> = cdfs.iter().map(|(l, c)| (l.as_str(), c)).collect();
+        if !refs.is_empty() {
+            out.push_str(&leo_analysis::render::render_cdf(&refs, 400.0, 60, 12));
+        }
+        for s in sets {
+            if let (Some(mean), Some(median)) =
+                (leo_analysis::stats::mean(&s.mbps), s.cdf().median())
+            {
+                out.push_str(&format!(
+                    "  {:<14} n={:<4} mean {:>6.1} Mbps, median {:>6.1} Mbps\n",
+                    s.label,
+                    s.mbps.len(),
+                    mean,
+                    median
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+    use leo_analysis::stats::mean;
+
+    fn data() -> Fig3Data {
+        run(shared_campaign())
+    }
+
+    #[test]
+    fn panel_a_udp_beats_tcp_on_starlink() {
+        let d = data();
+        let get = |label: &str| {
+            d.tcp_vs_udp
+                .iter()
+                .find(|s| s.label == label)
+                .map(|s| mean(&s.mbps).unwrap_or(0.0))
+                .unwrap()
+        };
+        let mob_udp = get("MOB-UDP");
+        let mob_tcp = get("MOB-TCP");
+        assert!(
+            mob_udp > 2.5 * mob_tcp,
+            "MOB UDP {mob_udp} should dwarf TCP {mob_tcp}"
+        );
+        // Cellular TCP and UDP stay close.
+        let cell_udp = get("Cellular-UDP");
+        let cell_tcp = get("Cellular-TCP");
+        assert!(
+            cell_tcp > cell_udp * 0.6,
+            "cellular TCP {cell_tcp} vs UDP {cell_udp} should be comparable"
+        );
+    }
+
+    #[test]
+    fn panel_b_mobility_doubles_roam() {
+        let d = data();
+        let rm = mean(&d.roam_vs_mobility[0].mbps).unwrap();
+        let mob = mean(&d.roam_vs_mobility[1].mbps).unwrap();
+        let ratio = mob / rm.max(0.1);
+        assert!(
+            (1.4..3.5).contains(&ratio),
+            "MOB/RM mean ratio {ratio} (MOB {mob}, RM {rm})"
+        );
+    }
+
+    #[test]
+    fn panel_c_downlink_near_10x_uplink() {
+        let d = data();
+        let up = mean(&d.up_vs_down[0].mbps).unwrap();
+        let down = mean(&d.up_vs_down[1].mbps).unwrap();
+        let ratio = down / up.max(0.1);
+        assert!(
+            (6.0..14.0).contains(&ratio),
+            "down/up ratio {ratio} (down {down}, up {up})"
+        );
+    }
+
+    #[test]
+    fn render_includes_all_panels() {
+        let s = render(&data());
+        assert!(s.contains("(a) TCP vs. UDP"));
+        assert!(s.contains("(b) Roam vs. Mobility"));
+        assert!(s.contains("(c) Uplink vs. Downlink"));
+        assert!(s.contains("mean"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Figure 4 — UDP-Ping latency CDFs of all five networks.
+//!
+//! "Overall, the RTTs for all networks primarily fall within the range of
+//! 50 to 100 ms. Verizon and T-Mobile exhibit the lowest RTT values, while
+//! Starlink Roam and Starlink Mobility plans experience comparatively
+//! higher latency … AT&T demonstrates the highest network latency."
+
+use leo_analysis::cdf::Cdf;
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::{NetworkId, TestKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-network RTT samples (one per ping test).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Data {
+    /// `(label, RTT samples ms)` in the paper's legend order.
+    pub rtts: Vec<(String, Vec<f64>)>,
+}
+
+/// Runs the Figure 4 analysis.
+pub fn run(campaign: &Campaign) -> Fig4Data {
+    let rtts = NetworkId::ALL
+        .iter()
+        .map(|&n| {
+            let samples: Vec<f64> = campaign
+                .records
+                .iter()
+                .filter(|r| r.network == n && r.kind == TestKind::Ping)
+                .filter_map(|r| r.mean_rtt_ms)
+                .collect();
+            (n.label().to_string(), samples)
+        })
+        .collect();
+    Fig4Data { rtts }
+}
+
+/// Mean RTT of a network's samples, if any.
+pub fn mean_rtt(data: &Fig4Data, label: &str) -> Option<f64> {
+    data.rtts
+        .iter()
+        .find(|(l, _)| l == label)
+        .and_then(|(_, v)| leo_analysis::stats::mean(v))
+}
+
+/// Renders the latency CDFs.
+pub fn render(data: &Fig4Data) -> String {
+    let mut out = String::from("Figure 4: UDP Ping Latency (CDF of per-test mean RTT)\n");
+    let cdfs: Vec<(String, Cdf)> = data
+        .rtts
+        .iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(l, v)| (l.clone(), Cdf::new(v.clone())))
+        .collect();
+    let refs: Vec<(&str, &Cdf)> = cdfs.iter().map(|(l, c)| (l.as_str(), c)).collect();
+    if !refs.is_empty() {
+        out.push_str(&leo_analysis::render::render_cdf(&refs, 150.0, 60, 12));
+    }
+    for (label, v) in &data.rtts {
+        if let Some(m) = leo_analysis::stats::mean(v) {
+            out.push_str(&format!(
+                "  {label:<4} n={:<3} mean RTT {m:>6.1} ms\n",
+                v.len()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    fn data() -> Fig4Data {
+        run(shared_campaign())
+    }
+
+    #[test]
+    fn rtts_mostly_in_50_to_100ms_band() {
+        let d = data();
+        let all: Vec<f64> = d.rtts.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        assert!(all.len() >= 10, "need enough ping tests, got {}", all.len());
+        let in_band = all.iter().filter(|r| (40.0..=110.0).contains(*r)).count();
+        assert!(
+            in_band as f64 / all.len() as f64 > 0.7,
+            "only {in_band}/{} RTTs near the paper's 50–100 ms band",
+            all.len()
+        );
+    }
+
+    #[test]
+    fn att_is_slowest_vz_tm_fastest() {
+        let d = data();
+        let att = mean_rtt(&d, "ATT").expect("ATT pings");
+        let vz = mean_rtt(&d, "VZ").expect("VZ pings");
+        let tm = mean_rtt(&d, "TM").expect("TM pings");
+        let mob = mean_rtt(&d, "MOB").expect("MOB pings");
+        assert!(att > mob, "ATT {att} should exceed MOB {mob}");
+        assert!(mob > vz.min(tm), "Starlink above the best cellular");
+    }
+
+    #[test]
+    fn starlink_latency_not_catastrophic() {
+        // The paper's surprise: Starlink latency is comparable, not the
+        // multi-hundred-ms of GEO satellites.
+        let d = data();
+        let mob = mean_rtt(&d, "MOB").expect("MOB pings");
+        assert!(mob < 120.0, "MOB mean RTT {mob} ms");
+    }
+
+    #[test]
+    fn render_lists_all_networks() {
+        let s = render(&data());
+        for label in ["ATT", "TM", "VZ", "RM", "MOB"] {
+            assert!(s.contains(label), "{label} missing");
+        }
+    }
+}

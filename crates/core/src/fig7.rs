@@ -1,0 +1,146 @@
+//! Figure 7 — impact of TCP parallelism: throughput improvement of 4 and
+//! 8 parallel connections over a single connection, Starlink Roam vs.
+//! pooled cellular.
+//!
+//! "Starlink achieves a better throughput improvement, over 50% with 4
+//! parallel TCP connections and over 130% improvement with 8 connections."
+//!
+//! The comparison is *paired*: every TCP test window in the campaign is
+//! re-evaluated at P ∈ {1, 4, 8} over the same link conditions, so the
+//! improvement percentages measure parallelism itself rather than
+//! differences between the windows each variant happened to land on.
+
+use leo_analysis::stats::improvement_pct;
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::{NetworkId, TestKind};
+use leo_link::condition::Direction;
+use leo_measure::iperf::{IperfConfig, IperfProtocol, IperfRunner};
+use serde::{Deserialize, Serialize};
+
+/// Improvement percentages per network group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Data {
+    /// `(group label, +% at 4P, +% at 8P)`.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Underlying paired means `(group, [mean@1P, mean@4P, mean@8P])`.
+    pub means: Vec<(String, [f64; 3])>,
+}
+
+/// Paired mean throughput at each parallelism level over the group's TCP
+/// test windows.
+fn paired_means(campaign: &Campaign, networks: &[NetworkId], starlink: bool) -> [f64; 3] {
+    let mut sums = [0.0f64; 3];
+    let mut n = 0usize;
+    for r in &campaign.records {
+        if !networks.contains(&r.network)
+            || !matches!(r.kind, TestKind::Tcp { .. })
+            || r.direction != Direction::Down
+        {
+            continue;
+        }
+        let (down, _) = &campaign.traces[&r.network];
+        let window = down.window(r.t_start_s, r.t_start_s + r.duration_s as u64);
+        for (i, parallel) in [1u32, 4, 8].into_iter().enumerate() {
+            let mut cfg = if starlink {
+                IperfConfig::tcp_down_starlink(parallel)
+            } else {
+                IperfConfig::tcp_down_cellular(parallel)
+            };
+            cfg.protocol = IperfProtocol::Tcp { parallel };
+            sums[i] += IperfRunner::new(cfg).run(&window).mean_mbps;
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return [0.0; 3];
+    }
+    sums.map(|s| s / n as f64)
+}
+
+/// Runs the Figure 7 analysis.
+pub fn run(campaign: &Campaign) -> Fig7Data {
+    let mut rows = Vec::new();
+    let mut means = Vec::new();
+    for (label, networks, starlink) in [
+        ("Roam", &[NetworkId::Roam][..], true),
+        ("Cellular", &NetworkId::CELLULAR[..], false),
+    ] {
+        let m = paired_means(campaign, networks, starlink);
+        rows.push((
+            label.to_string(),
+            improvement_pct(m[0], m[1]),
+            improvement_pct(m[0], m[2]),
+        ));
+        means.push((label.to_string(), m));
+    }
+    Fig7Data { rows, means }
+}
+
+/// Renders the improvement bars.
+pub fn render(data: &Fig7Data) -> String {
+    let mut out = String::from("Figure 7: Impact of TCP parallelism (downlink, vs 1 connection)\n");
+    let labels: Vec<(String, f64)> = data
+        .rows
+        .iter()
+        .flat_map(|(l, p4, p8)| vec![(format!("{l} 4P"), *p4), (format!("{l} 8P"), *p8)])
+        .collect();
+    let bars: Vec<(&str, f64)> = labels.iter().map(|(l, v)| (l.as_str(), *v)).collect();
+    out.push_str(&leo_analysis::render::render_bars(&bars, 50));
+    for (label, m) in &data.means {
+        out.push_str(&format!(
+            "  {label:<9} 1P {:>6.1}  4P {:>6.1}  8P {:>6.1} Mbps (paired windows)\n",
+            m[0], m[1], m[2]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    fn row(d: &Fig7Data, label: &str) -> (f64, f64) {
+        d.rows
+            .iter()
+            .find(|(l, ..)| l == label)
+            .map(|(_, a, b)| (*a, *b))
+            .unwrap()
+    }
+
+    #[test]
+    fn starlink_gains_more_than_cellular() {
+        let d = run(shared_campaign());
+        let (rm4, rm8) = row(&d, "Roam");
+        let (cl4, cl8) = row(&d, "Cellular");
+        assert!(rm4 > cl4, "RM 4P {rm4}% vs cellular {cl4}%");
+        assert!(rm8 > cl8, "RM 8P {rm8}% vs cellular {cl8}%");
+    }
+
+    #[test]
+    fn starlink_gains_are_large() {
+        // Paper anchors: >50 % at 4P, >130 % at 8P.
+        let d = run(shared_campaign());
+        let (rm4, rm8) = row(&d, "Roam");
+        assert!(rm4 > 40.0, "RM 4P gain only {rm4}%");
+        assert!(rm8 > 60.0, "RM 8P gain only {rm8}%");
+        assert!(rm8 >= rm4, "more connections should not hurt");
+    }
+
+    #[test]
+    fn cellular_gains_are_modest() {
+        let d = run(shared_campaign());
+        let (cl4, cl8) = row(&d, "Cellular");
+        assert!(cl4 < 45.0, "cellular 4P gain {cl4}% too large");
+        assert!(cl8 < 60.0, "cellular 8P gain {cl8}% too large");
+        assert!(cl8 >= cl4 - 1e-9, "paired evaluation is monotone");
+    }
+
+    #[test]
+    fn render_mentions_both_groups() {
+        let s = render(&run(shared_campaign()));
+        assert!(s.contains("Roam 4P"));
+        assert!(s.contains("Cellular 8P"));
+        assert!(s.contains("paired windows"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Figure 8 — downlink throughput by area type: cellular falls towards
+//! rural, Starlink rises; suburban ≈ rural for Starlink.
+//!
+//! "the throughput of cellular networks decreases when reaching rural
+//! areas, while the throughput of Starlink networks increases in rural
+//! areas … the throughput of Starlink is distributed similarly in suburban
+//! and rural areas."
+
+use leo_analysis::stats::BoxStats;
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::{NetworkId, TestKind};
+use leo_geo::area::AreaType;
+use leo_link::condition::Direction;
+use serde::{Deserialize, Serialize};
+
+/// Box statistics per (group, area type), UDP downlink.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Data {
+    /// `(group label, area, stats)`; groups are "Cellular" and "MOB".
+    pub boxes: Vec<(String, AreaType, Option<BoxStats>)>,
+}
+
+fn samples(campaign: &Campaign, networks: &[NetworkId], area: AreaType) -> Vec<f64> {
+    campaign
+        .records
+        .iter()
+        .filter(|r| {
+            networks.contains(&r.network)
+                && r.kind == TestKind::Udp
+                && r.direction == Direction::Down
+                && r.area == area
+        })
+        .map(|r| r.mean_mbps)
+        .collect()
+}
+
+/// Runs the Figure 8 analysis.
+pub fn run(campaign: &Campaign) -> Fig8Data {
+    let mut boxes = Vec::new();
+    for (label, networks) in [
+        ("Cellular", &NetworkId::CELLULAR[..]),
+        ("MOB", &[NetworkId::Mobility][..]),
+    ] {
+        for area in AreaType::ALL {
+            let s = samples(campaign, networks, area);
+            boxes.push((label.to_string(), area, BoxStats::from_samples(&s)));
+        }
+    }
+    Fig8Data { boxes }
+}
+
+/// Fetches a group's mean for an area.
+pub fn group_mean(data: &Fig8Data, label: &str, area: AreaType) -> Option<f64> {
+    data.boxes
+        .iter()
+        .find(|(l, a, _)| l == label && *a == area)
+        .and_then(|(_, _, s)| s.map(|s| s.mean))
+}
+
+/// Renders the box rows.
+pub fn render(data: &Fig8Data) -> String {
+    let mut out = String::from("Figure 8: Downlink throughput at different area types (UDP)\n");
+    for area in AreaType::ALL {
+        out.push_str(&format!("\n{area}:\n"));
+        for (label, a, stats) in &data.boxes {
+            if *a == area {
+                match stats {
+                    Some(s) => {
+                        out.push_str(&leo_analysis::render::render_box_row(label, s, 400.0, 60))
+                    }
+                    None => out.push_str(&format!("{label:>6} | (no samples)\n")),
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    fn data() -> Fig8Data {
+        run(shared_campaign())
+    }
+
+    #[test]
+    fn starlink_wins_rural_cellular_wins_urban() {
+        let d = data();
+        let cu = group_mean(&d, "Cellular", AreaType::Urban).expect("urban cellular");
+        let cr = group_mean(&d, "Cellular", AreaType::Rural).expect("rural cellular");
+        let mu = group_mean(&d, "MOB", AreaType::Urban).expect("urban MOB");
+        let mr = group_mean(&d, "MOB", AreaType::Rural).expect("rural MOB");
+        assert!(cu > cr, "cellular urban {cu} should beat rural {cr}");
+        assert!(mr > mu, "MOB rural {mr} should beat urban {mu}");
+        assert!(mr > cr, "MOB {mr} should beat cellular {cr} in rural areas");
+        assert!(cu > mu, "cellular {cu} should beat MOB {mu} in urban areas");
+    }
+
+    #[test]
+    fn starlink_suburban_similar_to_rural() {
+        let d = data();
+        let ms = group_mean(&d, "MOB", AreaType::Suburban).expect("suburban MOB");
+        let mr = group_mean(&d, "MOB", AreaType::Rural).expect("rural MOB");
+        let ratio = ms / mr.max(1e-9);
+        assert!(
+            (0.6..1.4).contains(&ratio),
+            "MOB suburban {ms} vs rural {mr} should be similar"
+        );
+    }
+
+    #[test]
+    fn render_covers_all_areas() {
+        let s = render(&data());
+        for a in ["Urban", "Suburban", "Rural"] {
+            assert!(s.contains(a));
+        }
+    }
+}

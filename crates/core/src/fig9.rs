@@ -1,0 +1,186 @@
+//! Figure 9 — performance-coverage proportions across eight bars:
+//! ATT, TM, VZ, BestCL, RM, RM+CL, MOB, MOB+CL.
+//!
+//! "Starlink Mobility exhibits the best overall performance, with a
+//! proportion of high-performance regions at 60.61%. Verizon and T-Mobile
+//! closely follow, with proportions … at 44.39% and 42.47% … Starlink Roam
+//! and AT&T … demonstrate the poorest performance."
+//!
+//! The combinations require every network's performance *at the same
+//! place and time*; the paper's phones ran side by side, and here the
+//! aligned per-second traces provide the same simultaneity. Each data
+//! point is a one-minute window mean of deliverable UDP throughput.
+
+use leo_analysis::coverage::{best_of, coverage_proportions};
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::NetworkId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Window length for one coverage data point, seconds.
+pub const WINDOW_S: usize = 60;
+
+/// Coverage proportions per bar.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Data {
+    /// `(bar label, [very-low, low, medium, high] proportions)`.
+    pub bars: Vec<(String, [f64; 4])>,
+}
+
+/// Per-window deliverable-throughput means for every network.
+fn window_means(campaign: &Campaign) -> BTreeMap<NetworkId, Vec<f64>> {
+    let mut out = BTreeMap::new();
+    for (&n, (down, _)) in &campaign.traces {
+        let caps: Vec<f64> = down
+            .samples()
+            .iter()
+            .map(|c| c.capacity_mbps * (1.0 - c.loss))
+            .collect();
+        let means: Vec<f64> = caps
+            .chunks(WINDOW_S)
+            .filter(|w| w.len() == WINDOW_S)
+            .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+            .collect();
+        out.insert(n, means);
+    }
+    out
+}
+
+/// Runs the Figure 9 analysis.
+pub fn run(campaign: &Campaign) -> Fig9Data {
+    let means = window_means(campaign);
+    let get = |n: NetworkId| means[&n].as_slice();
+
+    let best_cl = best_of(&[
+        get(NetworkId::Att),
+        get(NetworkId::TMobile),
+        get(NetworkId::Verizon),
+    ]);
+    let rm_cl = best_of(&[get(NetworkId::Roam), &best_cl]);
+    let mob_cl = best_of(&[get(NetworkId::Mobility), &best_cl]);
+
+    let bars = vec![
+        ("ATT".to_string(), coverage_proportions(get(NetworkId::Att))),
+        (
+            "TM".to_string(),
+            coverage_proportions(get(NetworkId::TMobile)),
+        ),
+        (
+            "VZ".to_string(),
+            coverage_proportions(get(NetworkId::Verizon)),
+        ),
+        ("BestCL".to_string(), coverage_proportions(&best_cl)),
+        ("RM".to_string(), coverage_proportions(get(NetworkId::Roam))),
+        ("RM+CL".to_string(), coverage_proportions(&rm_cl)),
+        (
+            "MOB".to_string(),
+            coverage_proportions(get(NetworkId::Mobility)),
+        ),
+        ("MOB+CL".to_string(), coverage_proportions(&mob_cl)),
+    ];
+    Fig9Data { bars }
+}
+
+/// High-performance share of a bar.
+pub fn high_share(data: &Fig9Data, label: &str) -> Option<f64> {
+    data.bars
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, p)| p[3])
+}
+
+/// Low + very-low share of a bar.
+pub fn poor_share(data: &Fig9Data, label: &str) -> Option<f64> {
+    data.bars
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, p)| p[0] + p[1])
+}
+
+/// Renders the stacked proportions as a table.
+pub fn render(data: &Fig9Data) -> String {
+    let mut out = String::from(
+        "Figure 9: Performance coverage (share of 1-min windows per level)\n\
+         bar      very-low    low   medium    high\n",
+    );
+    for (label, p) in &data.bars {
+        out.push_str(&format!(
+            "{label:>7} {:>9.1}% {:>5.1}% {:>7.1}% {:>6.1}%\n",
+            p[0] * 100.0,
+            p[1] * 100.0,
+            p[2] * 100.0,
+            p[3] * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    fn data() -> Fig9Data {
+        run(shared_campaign())
+    }
+
+    #[test]
+    fn proportions_sum_to_one_per_bar() {
+        let d = data();
+        assert_eq!(d.bars.len(), 8);
+        for (label, p) in &d.bars {
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{label} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn mobility_has_best_high_coverage_of_single_networks() {
+        let d = data();
+        let mob = high_share(&d, "MOB").unwrap();
+        for other in ["ATT", "TM", "VZ", "RM"] {
+            let o = high_share(&d, other).unwrap();
+            assert!(mob >= o, "MOB {mob} vs {other} {o}");
+        }
+        // And in the paper's ballpark (60.61 %).
+        assert!((0.35..0.80).contains(&mob), "MOB high share {mob}");
+    }
+
+    #[test]
+    fn att_and_roam_are_poorest() {
+        let d = data();
+        let att = poor_share(&d, "ATT").unwrap();
+        let vz = poor_share(&d, "VZ").unwrap();
+        let rm = poor_share(&d, "RM").unwrap();
+        let mob = poor_share(&d, "MOB").unwrap();
+        assert!(att > vz, "ATT poor {att} vs VZ {vz}");
+        assert!(rm > mob, "RM poor {rm} vs MOB {mob}");
+    }
+
+    #[test]
+    fn combinations_dominate_their_parts() {
+        let d = data();
+        let h = |l: &str| high_share(&d, l).unwrap();
+        assert!(h("BestCL") >= h("ATT").max(h("TM")).max(h("VZ")));
+        assert!(h("RM+CL") >= h("RM").max(h("BestCL")));
+        assert!(h("MOB+CL") >= h("MOB").max(h("BestCL")));
+    }
+
+    #[test]
+    fn combination_still_leaves_poor_windows() {
+        // The paper: "even after combining cellular and Starlink, there are
+        // still areas with low performance (<50 Mbps)".
+        let d = data();
+        let poor = poor_share(&d, "MOB+CL").unwrap();
+        assert!(poor > 0.0, "combined coverage implausibly perfect");
+        assert!(poor < 0.5, "combined coverage implausibly bad: {poor}");
+    }
+
+    #[test]
+    fn render_lists_all_bars() {
+        let s = render(&data());
+        for l in ["ATT", "BestCL", "RM+CL", "MOB+CL"] {
+            assert!(s.contains(l));
+        }
+    }
+}

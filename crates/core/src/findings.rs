@@ -1,0 +1,110 @@
+//! The paper's summarised findings (§1) as checkable predicates.
+//!
+//! Integration tests and the `figures` binary use these to assert the
+//! reproduction holds the paper's *shape*: who wins, by roughly what
+//! factor, where the crossovers fall.
+
+use crate::{fig3, fig4, fig8, fig9};
+use leo_dataset::campaign::Campaign;
+use leo_geo::area::AreaType;
+
+/// Finding 1: "TCP severely suffers from such a high packet loss of
+/// Starlink, leading to only 1/5 of the throughput achieved by UDP over
+/// Starlink." Returns the UDP/TCP mean ratio on Mobility downlink.
+pub fn starlink_udp_tcp_ratio(campaign: &Campaign) -> f64 {
+    let d = fig3::run(campaign);
+    let get = |label: &str| {
+        d.tcp_vs_udp
+            .iter()
+            .find(|s| s.label == label)
+            .and_then(|s| leo_analysis::stats::mean(&s.mbps))
+            .unwrap_or(0.0)
+    };
+    get("MOB-UDP") / get("MOB-TCP").max(1e-9)
+}
+
+/// Finding 2: "Mobility, having 2× higher mean/median throughput" than
+/// Roam. Returns the MOB/RM mean ratio (UDP downlink).
+pub fn mobility_roam_ratio(campaign: &Campaign) -> f64 {
+    let d = fig3::run(campaign);
+    let mean = |i: usize| leo_analysis::stats::mean(&d.roam_vs_mobility[i].mbps).unwrap_or(0.0);
+    mean(1) / mean(0).max(1e-9)
+}
+
+/// §4.1: downlink ≈ 10× uplink on Starlink. Returns the ratio.
+pub fn starlink_down_up_ratio(campaign: &Campaign) -> f64 {
+    let d = fig3::run(campaign);
+    let mean = |i: usize| leo_analysis::stats::mean(&d.up_vs_down[i].mbps).unwrap_or(0.0);
+    mean(1) / mean(0).max(1e-9)
+}
+
+/// Finding: "the latency stays similar" — Starlink RTT within a factor of
+/// the cellular RTTs, all in the 50–100 ms regime. Returns
+/// `(mob_rtt_ms, best_cellular_rtt_ms)`.
+pub fn latency_comparison(campaign: &Campaign) -> (f64, f64) {
+    let d = fig4::run(campaign);
+    let get = |l: &str| fig4::mean_rtt(&d, l).unwrap_or(f64::NAN);
+    let best_cell = get("VZ").min(get("TM")).min(get("ATT"));
+    (get("MOB"), best_cell)
+}
+
+/// Finding 4: "Cellular networks offer better performance in urban areas
+/// … while Starlink wins in suburban and rural areas." True iff both
+/// crossovers hold.
+pub fn area_crossover_holds(campaign: &Campaign) -> bool {
+    let d = fig8::run(campaign);
+    let g = |l: &str, a: AreaType| fig8::group_mean(&d, l, a).unwrap_or(0.0);
+    g("Cellular", AreaType::Urban) > g("MOB", AreaType::Urban)
+        && g("MOB", AreaType::Rural) > g("Cellular", AreaType::Rural)
+        && g("MOB", AreaType::Suburban) > g("Cellular", AreaType::Suburban)
+}
+
+/// §5.2: Mobility has the best single-network high-performance coverage.
+pub fn mobility_has_best_coverage(campaign: &Campaign) -> bool {
+    let d = fig9::run(campaign);
+    let h = |l: &str| fig9::high_share(&d, l).unwrap_or(0.0);
+    let mob = h("MOB");
+    ["ATT", "TM", "VZ", "RM"].iter().all(|l| mob >= h(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    #[test]
+    fn headline_findings_hold_on_a_medium_campaign() {
+        let c = shared_campaign();
+
+        let udp_tcp = starlink_udp_tcp_ratio(c);
+        assert!(
+            (2.5..9.0).contains(&udp_tcp),
+            "UDP/TCP ratio {udp_tcp} (paper: ≈5×)"
+        );
+
+        let mob_rm = mobility_roam_ratio(c);
+        assert!(
+            (1.4..3.5).contains(&mob_rm),
+            "MOB/RM ratio {mob_rm} (paper: ≈2×)"
+        );
+
+        let down_up = starlink_down_up_ratio(c);
+        assert!(
+            (6.0..14.0).contains(&down_up),
+            "down/up ratio {down_up} (paper: ≈10×)"
+        );
+
+        let (mob_rtt, cell_rtt) = latency_comparison(c);
+        assert!(
+            mob_rtt < cell_rtt * 2.2,
+            "MOB RTT {mob_rtt} vs best cellular {cell_rtt} — latency should stay similar"
+        );
+        assert!(
+            mob_rtt > cell_rtt,
+            "Starlink RTT slightly higher, not lower"
+        );
+
+        assert!(area_crossover_holds(c), "area crossover missing");
+        assert!(mobility_has_best_coverage(c), "MOB not best coverage");
+    }
+}

@@ -1,0 +1,62 @@
+//! Experiment orchestration: every table and figure of *LEO Satellite vs.
+//! Cellular Networks* (CoNEXT Companion '23), regenerated.
+//!
+//! The paper's evaluation consists of Figures 1 and 3–11 plus the §3.3
+//! dataset summary. Each has a module here exposing `run(&Campaign) ->
+//! FigXData` (structured results) and `render(&FigXData) -> String` (a
+//! terminal rendering). [`registry::all_figures`] enumerates them so the
+//! `figures` example and the benches can sweep everything.
+//!
+//! [`findings`] encodes the paper's summarised findings as checkable
+//! predicates over a campaign — the reproduction's acceptance tests.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod findings;
+pub mod mptcp_emu;
+pub mod registry;
+
+pub use registry::{all_figures, FigureEntry};
+
+use leo_dataset::campaign::{Campaign, CampaignConfig};
+
+/// Generates the campaign used by every experiment.
+///
+/// `scale` trades fidelity for runtime: 1.0 is the paper-scale field trip
+/// (use `--release`); 0.02 runs in seconds for tests.
+pub fn campaign(scale: f64, seed: u64) -> Campaign {
+    Campaign::generate(CampaignConfig {
+        scale,
+        seed,
+        ..CampaignConfig::default()
+    })
+}
+
+/// Test fixtures shared across this crate's statistical tests.
+#[doc(hidden)]
+pub mod test_support {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// One cached medium-scale campaign so every statistical test reads
+    /// the same world instead of regenerating it (campaign generation
+    /// dominates test time otherwise).
+    pub fn shared_campaign() -> &'static Campaign {
+        static C: OnceLock<Campaign> = OnceLock::new();
+        C.get_or_init(|| campaign(0.15, 42))
+    }
+
+    /// A small cached campaign for smoke tests.
+    pub fn small_campaign() -> &'static Campaign {
+        static C: OnceLock<Campaign> = OnceLock::new();
+        C.get_or_init(|| campaign(0.03, 7))
+    }
+}

@@ -1,0 +1,264 @@
+//! Dataset import/export: CSV and JSON.
+//!
+//! The paper released its dataset publicly; this module gives the
+//! synthetic dataset the same property. CSV is hand-rolled (the schema is
+//! flat and contains no quoting hazards); JSON goes through serde.
+
+use crate::record::{DriveRecord, NetworkId, TestKind};
+use leo_geo::area::AreaType;
+use leo_link::condition::Direction;
+use std::io::{self, BufRead, Write};
+
+/// CSV header, stable across versions.
+pub const CSV_HEADER: &str = "test_id,network,kind,direction,t_start_s,duration_s,lat_deg,\
+lon_deg,area,mean_speed_kmh,mean_mbps,median_mbps,retrans_rate,mean_rtt_ms";
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    Io(io::Error),
+    /// A malformed line: (line number, description).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse(n, what) => write!(f, "line {n}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn area_label(a: AreaType) -> &'static str {
+    a.label()
+}
+
+fn area_from(s: &str) -> Option<AreaType> {
+    match s {
+        "Urban" => Some(AreaType::Urban),
+        "Suburban" => Some(AreaType::Suburban),
+        "Rural" => Some(AreaType::Rural),
+        _ => None,
+    }
+}
+
+fn dir_label(d: Direction) -> &'static str {
+    match d {
+        Direction::Down => "down",
+        Direction::Up => "up",
+    }
+}
+
+fn dir_from(s: &str) -> Option<Direction> {
+    match s {
+        "down" => Some(Direction::Down),
+        "up" => Some(Direction::Up),
+        _ => None,
+    }
+}
+
+/// Writes records as CSV.
+pub fn write_csv<W: Write>(mut w: W, records: &[DriveRecord]) -> io::Result<()> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for r in records {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{:.6},{:.6},{},{:.2},{:.3},{:.3},{:.6},{}",
+            r.test_id,
+            r.network.label(),
+            r.kind.label(),
+            dir_label(r.direction),
+            r.t_start_s,
+            r.duration_s,
+            r.lat_deg,
+            r.lon_deg,
+            area_label(r.area),
+            r.mean_speed_kmh,
+            r.mean_mbps,
+            r.median_mbps,
+            r.retrans_rate,
+            r.mean_rtt_ms.map(|v| format!("{v:.2}")).unwrap_or_default(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads records from CSV (as produced by [`write_csv`]).
+pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<DriveRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || (i == 0 && line == CSV_HEADER) {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 14 {
+            return Err(CsvError::Parse(
+                i + 1,
+                format!("{} fields, want 14", f.len()),
+            ));
+        }
+        let bad = |what: &str| CsvError::Parse(i + 1, what.to_string());
+        out.push(DriveRecord {
+            test_id: f[0].parse().map_err(|_| bad("test_id"))?,
+            network: NetworkId::from_label(f[1]).ok_or_else(|| bad("network"))?,
+            kind: TestKind::from_label(f[2]).ok_or_else(|| bad("kind"))?,
+            direction: dir_from(f[3]).ok_or_else(|| bad("direction"))?,
+            t_start_s: f[4].parse().map_err(|_| bad("t_start_s"))?,
+            duration_s: f[5].parse().map_err(|_| bad("duration_s"))?,
+            lat_deg: f[6].parse().map_err(|_| bad("lat_deg"))?,
+            lon_deg: f[7].parse().map_err(|_| bad("lon_deg"))?,
+            area: area_from(f[8]).ok_or_else(|| bad("area"))?,
+            mean_speed_kmh: f[9].parse().map_err(|_| bad("mean_speed_kmh"))?,
+            mean_mbps: f[10].parse().map_err(|_| bad("mean_mbps"))?,
+            median_mbps: f[11].parse().map_err(|_| bad("median_mbps"))?,
+            retrans_rate: f[12].parse().map_err(|_| bad("retrans_rate"))?,
+            mean_rtt_ms: if f[13].is_empty() {
+                None
+            } else {
+                Some(f[13].parse().map_err(|_| bad("mean_rtt_ms"))?)
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// Exports every network trace as Mahimahi packet-delivery text — the
+/// exact file format the paper fed to MpShell, so this synthetic dataset
+/// can drive real Mahimahi/MpShell instances too. Returns
+/// `(file name, trace text)` pairs, one per network and direction.
+pub fn export_mahimahi(campaign: &crate::campaign::Campaign) -> Vec<(String, String)> {
+    use leo_link::mahimahi::MahimahiTrace;
+    let mut out = Vec::new();
+    for (network, (down, up)) in &campaign.traces {
+        for (dir, trace) in [("down", down), ("up", up)] {
+            let mm = MahimahiTrace::from_link_trace(trace);
+            out.push((format!("{}_{dir}.mahi", network.label().to_lowercase()), mm.to_text()));
+        }
+    }
+    out
+}
+
+/// Serialises records to pretty JSON.
+pub fn to_json(records: &[DriveRecord]) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(records)
+}
+
+/// Parses records from JSON.
+pub fn from_json(s: &str) -> serde_json::Result<Vec<DriveRecord>> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<DriveRecord> {
+        vec![
+            DriveRecord {
+                test_id: 0,
+                network: NetworkId::Mobility,
+                kind: TestKind::Udp,
+                direction: Direction::Down,
+                t_start_s: 120,
+                duration_s: 60,
+                lat_deg: 44.95123,
+                lon_deg: -93.2,
+                area: AreaType::Urban,
+                mean_speed_kmh: 33.5,
+                mean_mbps: 87.125,
+                median_mbps: 92.0,
+                retrans_rate: 0.0123,
+                mean_rtt_ms: None,
+            },
+            DriveRecord {
+                test_id: 1,
+                network: NetworkId::Att,
+                kind: TestKind::Ping,
+                direction: Direction::Down,
+                t_start_s: 300,
+                duration_s: 60,
+                lat_deg: 44.9,
+                lon_deg: -93.1,
+                area: AreaType::Suburban,
+                mean_speed_kmh: 66.0,
+                mean_mbps: 0.0,
+                median_mbps: 0.0,
+                retrans_rate: 0.02,
+                mean_rtt_ms: Some(81.25),
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records).unwrap();
+        let parsed = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].network, NetworkId::Mobility);
+        assert_eq!(parsed[1].mean_rtt_ms, Some(81.25));
+        assert!((parsed[0].mean_mbps - 87.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let records = sample_records();
+        let json = to_json(&records).unwrap();
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_lines() {
+        let bad = format!("{CSV_HEADER}\n1,2,3\n");
+        let err = read_csv(bad.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse(2, _)), "{err}");
+
+        let bad_network = format!("{CSV_HEADER}\n0,XX,udp,down,0,60,1,1,Urban,10,1,1,0,\n");
+        assert!(read_csv(bad_network.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn mahimahi_export_covers_all_networks_and_parses_back() {
+        use crate::campaign::{Campaign, CampaignConfig};
+        use leo_link::mahimahi::MahimahiTrace;
+        let c = Campaign::generate(CampaignConfig::small());
+        let files = export_mahimahi(&c);
+        assert_eq!(files.len(), 10, "5 networks x 2 directions");
+        for (name, text) in &files {
+            assert!(name.ends_with(".mahi"));
+            // Non-dead traces must parse back as valid Mahimahi schedules.
+            if !text.is_empty() {
+                let mm = MahimahiTrace::from_text(text).expect("valid schedule");
+                assert!(mm.mean_rate_mbps() > 0.0);
+            }
+        }
+        // The Mobility downlink must be one of the richer traces.
+        let mob = files
+            .iter()
+            .find(|(n, _)| n == "mob_down.mahi")
+            .expect("mob downlink exported");
+        assert!(mob.1.lines().count() > 1000);
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records).unwrap();
+        let with_blanks = format!("{}\n\n", String::from_utf8(buf).unwrap());
+        assert_eq!(read_csv(with_blanks.as_bytes()).unwrap().len(), 2);
+    }
+}

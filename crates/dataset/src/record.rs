@@ -1,0 +1,196 @@
+//! The per-test record schema.
+
+use leo_geo::area::AreaType;
+use leo_link::condition::Direction;
+use serde::{Deserialize, Serialize};
+
+/// The five measured networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NetworkId {
+    /// Starlink Roam.
+    Roam,
+    /// Starlink Mobility.
+    Mobility,
+    Att,
+    TMobile,
+    Verizon,
+}
+
+impl NetworkId {
+    /// All networks, in the paper's figure order (ATT, TM, VZ, RM, MOB).
+    pub const ALL: [NetworkId; 5] = [
+        NetworkId::Att,
+        NetworkId::TMobile,
+        NetworkId::Verizon,
+        NetworkId::Roam,
+        NetworkId::Mobility,
+    ];
+
+    /// The cellular subset.
+    pub const CELLULAR: [NetworkId; 3] = [NetworkId::Att, NetworkId::TMobile, NetworkId::Verizon];
+
+    /// The Starlink subset.
+    pub const STARLINK: [NetworkId; 2] = [NetworkId::Roam, NetworkId::Mobility];
+
+    /// Figure label ("ATT" / "TM" / "VZ" / "RM" / "MOB").
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkId::Roam => "RM",
+            NetworkId::Mobility => "MOB",
+            NetworkId::Att => "ATT",
+            NetworkId::TMobile => "TM",
+            NetworkId::Verizon => "VZ",
+        }
+    }
+
+    /// Whether this is a satellite network.
+    pub fn is_starlink(&self) -> bool {
+        matches!(self, NetworkId::Roam | NetworkId::Mobility)
+    }
+
+    /// Parses a figure label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "RM" => NetworkId::Roam,
+            "MOB" => NetworkId::Mobility,
+            "ATT" => NetworkId::Att,
+            "TM" => NetworkId::TMobile,
+            "VZ" => NetworkId::Verizon,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What kind of test a record holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestKind {
+    /// iPerf UDP bulk transfer.
+    Udp,
+    /// iPerf TCP bulk transfer with N parallel connections.
+    Tcp { parallel: u32 },
+    /// UDP-Ping latency probe session.
+    Ping,
+}
+
+impl TestKind {
+    /// Short label for CSV ("udp", "tcp1", "tcp4", "ping", …).
+    pub fn label(&self) -> String {
+        match self {
+            TestKind::Udp => "udp".to_string(),
+            TestKind::Tcp { parallel } => format!("tcp{parallel}"),
+            TestKind::Ping => "ping".to_string(),
+        }
+    }
+
+    /// Parses a label produced by [`Self::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "udp" => Some(TestKind::Udp),
+            "ping" => Some(TestKind::Ping),
+            _ => s
+                .strip_prefix("tcp")
+                .and_then(|n| n.parse().ok())
+                .map(|parallel| TestKind::Tcp { parallel }),
+        }
+    }
+}
+
+/// One completed network test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveRecord {
+    pub test_id: u32,
+    pub network: NetworkId,
+    pub kind: TestKind,
+    pub direction: Direction,
+    /// Campaign time at test start, seconds.
+    pub t_start_s: u64,
+    pub duration_s: u32,
+    /// Position at the middle of the test.
+    pub lat_deg: f64,
+    pub lon_deg: f64,
+    /// Majority area type over the test window.
+    pub area: AreaType,
+    /// Mean vehicle speed over the window, km/h.
+    pub mean_speed_kmh: f64,
+    /// Mean delivered throughput, Mbps (0 for ping tests).
+    pub mean_mbps: f64,
+    /// Median of the per-second series, Mbps.
+    pub median_mbps: f64,
+    /// Retransmission (TCP) or loss (UDP) rate.
+    pub retrans_rate: f64,
+    /// Mean probe RTT, ms (ping tests; `None` when all probes lost or not
+    /// a ping test).
+    pub mean_rtt_ms: Option<f64>,
+}
+
+impl DriveRecord {
+    /// Speed bucket (10 km/h bins, matching Figure 6's x-axis).
+    pub fn speed_bucket(&self) -> u32 {
+        ((self.mean_speed_kmh / 10.0).floor() as u32).min(9) * 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for n in NetworkId::ALL {
+            assert_eq!(NetworkId::from_label(n.label()), Some(n));
+        }
+        for k in [
+            TestKind::Udp,
+            TestKind::Ping,
+            TestKind::Tcp { parallel: 1 },
+            TestKind::Tcp { parallel: 8 },
+        ] {
+            assert_eq!(TestKind::from_label(&k.label()), Some(k));
+        }
+        assert_eq!(NetworkId::from_label("XX"), None);
+        assert_eq!(TestKind::from_label("tcpx"), None);
+    }
+
+    #[test]
+    fn network_subsets_partition() {
+        for n in NetworkId::ALL {
+            let in_cell = NetworkId::CELLULAR.contains(&n);
+            let in_sl = NetworkId::STARLINK.contains(&n);
+            assert!(in_cell ^ in_sl);
+            assert_eq!(n.is_starlink(), in_sl);
+        }
+    }
+
+    #[test]
+    fn speed_buckets() {
+        let mut r = DriveRecord {
+            test_id: 0,
+            network: NetworkId::Mobility,
+            kind: TestKind::Udp,
+            direction: leo_link::condition::Direction::Down,
+            t_start_s: 0,
+            duration_s: 60,
+            lat_deg: 0.0,
+            lon_deg: 0.0,
+            area: AreaType::Rural,
+            mean_speed_kmh: 47.0,
+            mean_mbps: 0.0,
+            median_mbps: 0.0,
+            retrans_rate: 0.0,
+            mean_rtt_ms: None,
+        };
+        assert_eq!(r.speed_bucket(), 40);
+        r.mean_speed_kmh = 5.0;
+        assert_eq!(r.speed_bucket(), 0);
+        r.mean_speed_kmh = 99.0;
+        assert_eq!(r.speed_bucket(), 90);
+        r.mean_speed_kmh = 150.0;
+        assert_eq!(r.speed_bucket(), 90, "clamped to the top bucket");
+    }
+}

@@ -1,0 +1,81 @@
+//! Dataset summary: the §3.3 headline numbers.
+
+use crate::campaign::Campaign;
+use leo_geo::area::AreaType;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a generated campaign, mirroring §3.3 and §5.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Number of completed network tests (paper: 1,239).
+    pub tests: u32,
+    /// Total trace minutes across all network devices (paper: 9,083).
+    pub trace_minutes: u64,
+    /// Total distance driven, km (paper: >3,800).
+    pub distance_km: f64,
+    /// Drive duration, minutes.
+    pub drive_minutes: u64,
+    /// Area proportions of the drive samples (paper: 29.78 % / 34.30 % /
+    /// 35.91 %).
+    pub urban_frac: f64,
+    pub suburban_frac: f64,
+    pub rural_frac: f64,
+    /// Number of networks traced simultaneously.
+    pub networks: u32,
+}
+
+impl DatasetSummary {
+    /// Computes the summary from a campaign.
+    pub fn from_campaign(c: &Campaign) -> Self {
+        let n = c.samples.len().max(1) as f64;
+        let count = |a: AreaType| c.areas.iter().filter(|&&x| x == a).count() as f64 / n;
+        let drive_minutes = c.samples.len() as u64 / 60;
+        let networks = c.traces.len() as u32;
+        Self {
+            tests: c.records.len() as u32,
+            trace_minutes: drive_minutes * networks as u64,
+            distance_km: c.samples.last().map(|s| s.travelled_km).unwrap_or(0.0),
+            drive_minutes,
+            urban_frac: count(AreaType::Urban),
+            suburban_frac: count(AreaType::Suburban),
+            rural_frac: count(AreaType::Rural),
+            networks,
+        }
+    }
+
+    /// Renders the summary as the §3.3-style paragraph.
+    pub fn render(&self) -> String {
+        format!(
+            "Dataset: {} network tests, {} minutes of traces across {} networks, \
+             {:.0} km driven in {} minutes. Area mix: urban {:.2}%, suburban {:.2}%, \
+             rural {:.2}%.",
+            self.tests,
+            self.trace_minutes,
+            self.networks,
+            self.distance_km,
+            self.drive_minutes,
+            self.urban_frac * 100.0,
+            self.suburban_frac * 100.0,
+            self.rural_frac * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::campaign::{Campaign, CampaignConfig};
+
+    #[test]
+    fn small_campaign_summary_is_consistent() {
+        let c = Campaign::generate(CampaignConfig::small());
+        let s = c.summary();
+        assert_eq!(s.tests as usize, c.records.len());
+        assert_eq!(s.networks, 5);
+        assert_eq!(s.trace_minutes, s.drive_minutes * 5);
+        assert!(s.distance_km > 50.0, "distance {}", s.distance_km);
+        assert!((s.urban_frac + s.suburban_frac + s.rural_frac - 1.0).abs() < 1e-9);
+        let text = s.render();
+        assert!(text.contains("network tests"));
+    }
+}

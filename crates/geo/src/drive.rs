@@ -1,0 +1,205 @@
+//! Drive plans: a route plus a schedule and environmental conditions.
+//!
+//! §3.3: data was collected "during both daytime and nighttime" and in
+//! "clear weather conditions but also rainy and snowy conditions". The paper
+//! found terrain and time-of-day to have minimal impact; weather is retained
+//! as a (mild) modifier that `leo-orbit` applies as rain fade.
+
+use crate::point::GeoPoint;
+use crate::route::Route;
+use crate::speed::SpeedProfile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Day or night at the time of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DayPhase {
+    Day,
+    Night,
+}
+
+/// Weather condition during a drive segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weather {
+    Clear,
+    Rain,
+    Snow,
+}
+
+impl Weather {
+    /// Ku-band rain-fade capacity multiplier applied to satellite links.
+    ///
+    /// Values are mild: the paper reports environmental conditions had
+    /// limited impact on measured performance.
+    pub fn satellite_capacity_factor(&self) -> f64 {
+        match self {
+            Weather::Clear => 1.0,
+            Weather::Rain => 0.88,
+            Weather::Snow => 0.92,
+        }
+    }
+}
+
+/// One per-second sample of the drive context.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnvironmentSample {
+    /// Seconds since the start of the drive.
+    pub t_s: u64,
+    pub position: GeoPoint,
+    pub speed_kmh: f64,
+    /// Heading of travel, degrees clockwise from north.
+    pub heading_deg: f64,
+    pub day_phase: DayPhase,
+    pub weather: Weather,
+    /// Cumulative distance travelled, km.
+    pub travelled_km: f64,
+}
+
+/// A plannable drive: route + start hour + weather schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrivePlan {
+    pub route: Route,
+    /// Local start hour in `[0, 24)`.
+    pub start_hour: f64,
+    /// Weather for the whole drive (campaigns vary weather across drives).
+    pub weather: Weather,
+}
+
+impl DrivePlan {
+    /// Creates a plan with clear weather starting at 10:00.
+    pub fn new(route: Route) -> Self {
+        Self {
+            route,
+            start_hour: 10.0,
+            weather: Weather::Clear,
+        }
+    }
+
+    /// Sets the start hour.
+    pub fn with_start_hour(mut self, hour: f64) -> Self {
+        self.start_hour = hour.rem_euclid(24.0);
+        self
+    }
+
+    /// Sets the weather.
+    pub fn with_weather(mut self, weather: Weather) -> Self {
+        self.weather = weather;
+        self
+    }
+
+    /// Day phase at `t_s` seconds into the drive (day = 07:00–19:00 local).
+    pub fn day_phase_at(&self, t_s: u64) -> DayPhase {
+        let hour = (self.start_hour + t_s as f64 / 3600.0).rem_euclid(24.0);
+        if (7.0..19.0).contains(&hour) {
+            DayPhase::Day
+        } else {
+            DayPhase::Night
+        }
+    }
+
+    /// Simulates the drive at 1 Hz until the route is exhausted, returning
+    /// per-second environment samples. Deterministic given `rng`'s seed.
+    ///
+    /// The vehicle follows the route's road classes with a stochastic speed
+    /// profile; the drive ends when the route's end is reached (or at
+    /// `max_duration_s`, whichever comes first).
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        max_duration_s: u64,
+    ) -> Vec<EnvironmentSample> {
+        let mut samples = Vec::new();
+        let mut travelled_km = 0.0;
+        let mut speed = SpeedProfile::new();
+        let total = self.route.length_km();
+        for t_s in 0..max_duration_s {
+            let sample = self.route.sample_at_km(travelled_km);
+            let v = speed.step(sample.road, rng);
+            samples.push(EnvironmentSample {
+                t_s,
+                position: sample.position,
+                speed_kmh: v,
+                heading_deg: sample.heading_deg,
+                day_phase: self.day_phase_at(t_s),
+                weather: self.weather,
+                travelled_km,
+            });
+            travelled_km += v / 3600.0;
+            if travelled_km >= total {
+                break;
+            }
+        }
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::RouteBuilder;
+    use crate::speed::RoadClass;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn plan() -> DrivePlan {
+        let route = RouteBuilder::new(GeoPoint::new(44.0, -93.0))
+            .leg_heading(90.0, 20.0, RoadClass::Interstate)
+            .build();
+        DrivePlan::new(route)
+    }
+
+    #[test]
+    fn drive_ends_when_route_exhausted() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples = plan().simulate(&mut rng, 1_000_000);
+        let last = samples.last().unwrap();
+        // 20 km at ~95 km/h is ~760 s; generous bounds for ramp-up.
+        assert!(samples.len() < 2000, "drive too long: {}", samples.len());
+        assert!(last.travelled_km <= 20.0 + 0.1);
+        assert!(last.travelled_km > 19.0);
+    }
+
+    #[test]
+    fn drive_respects_max_duration() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples = plan().simulate(&mut rng, 10);
+        assert_eq!(samples.len(), 10);
+    }
+
+    #[test]
+    fn travelled_distance_is_monotone() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let samples = plan().simulate(&mut rng, 2000);
+        for w in samples.windows(2) {
+            assert!(w[1].travelled_km >= w[0].travelled_km);
+        }
+    }
+
+    #[test]
+    fn day_phase_transitions() {
+        let p = plan().with_start_hour(18.5);
+        assert_eq!(p.day_phase_at(0), DayPhase::Day);
+        assert_eq!(p.day_phase_at(3600), DayPhase::Night); // 19:30
+    }
+
+    #[test]
+    fn weather_factors_ordered() {
+        assert!(Weather::Clear.satellite_capacity_factor() == 1.0);
+        assert!(
+            Weather::Rain.satellite_capacity_factor() < Weather::Snow.satellite_capacity_factor()
+        );
+    }
+
+    #[test]
+    fn simulate_is_deterministic() {
+        let run = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            plan()
+                .simulate(&mut rng, 100)
+                .iter()
+                .map(|s| s.speed_kmh)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,38 @@
+//! Geodesy, driving routes, a synthetic place database, and area-type
+//! classification.
+//!
+//! This crate provides the geographic substrate for the `leo-cell`
+//! reproduction of *LEO Satellite vs. Cellular Networks* (CoNEXT Companion
+//! '23). The paper's measurement campaign drove more than 3,800 km across
+//! five US states; since the original GPS tracks are not published, this
+//! crate supplies:
+//!
+//! * [`GeoPoint`] — WGS-84 latitude/longitude with great-circle math and
+//!   Earth-centred Earth-fixed (ECEF) conversion (used by `leo-orbit` for
+//!   satellite visibility),
+//! * [`Route`] — polyline routes with arc-length parameterisation, so a
+//!   vehicle position can be queried at any travelled distance,
+//! * [`places`] — a synthetic five-state database of cities and towns with
+//!   populations, standing in for the list of places the authors compiled,
+//! * [`AreaType`] — the paper's urban / suburban / rural classification,
+//!   computed exactly as §5.1 describes: distance to the nearest place,
+//!   thresholded,
+//! * [`DrivePlan`] — a schedulable drive: route, speed profile, start time,
+//!   and environmental conditions (day/night, weather).
+//!
+//! Everything here is deterministic: any randomness used to synthesise
+//! routes is seeded by the caller.
+
+pub mod area;
+pub mod drive;
+pub mod places;
+pub mod point;
+pub mod route;
+pub mod speed;
+
+pub use area::{AreaClassifier, AreaType};
+pub use drive::{DayPhase, DrivePlan, EnvironmentSample, Weather};
+pub use places::{Place, PlaceCategory, PlaceDb};
+pub use point::{Ecef, GeoPoint, EARTH_RADIUS_KM};
+pub use route::{Route, RouteBuilder, RouteSample};
+pub use speed::{RoadClass, SpeedProfile};

@@ -1,0 +1,238 @@
+//! A synthetic five-state place database.
+//!
+//! §5.1 of the paper: *"we compile a list of all cities and towns we passed
+//! through, calculate the distances from each data point to these locations,
+//! and select the smallest distance"*. The authors' exact list is not
+//! published; this module provides a deterministic synthetic equivalent —
+//! five states along a Midwest-to-West corridor, each with a major city,
+//! satellite cities, and small towns spaced along the connecting freeways.
+//!
+//! The coordinates are fictional-but-plausible: they lie in the continental
+//! US band (lat 33–47°N) so satellite-visibility geometry against the
+//! Starlink 53°-inclination shell behaves like the real campaign.
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// Broad size class of a populated place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlaceCategory {
+    /// Major metropolitan core (population ≥ 300k).
+    MajorCity,
+    /// Mid-size city (50k–300k).
+    City,
+    /// Small town (< 50k).
+    Town,
+}
+
+/// A populated place used for area classification and cellular deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Place {
+    pub name: String,
+    pub state: String,
+    pub location: GeoPoint,
+    pub population: u32,
+    pub category: PlaceCategory,
+}
+
+/// The place database: a flat list with nearest-neighbour queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlaceDb {
+    places: Vec<Place>,
+}
+
+impl PlaceDb {
+    /// Builds a database from an explicit list.
+    pub fn from_places(places: Vec<Place>) -> Self {
+        Self { places }
+    }
+
+    /// The synthetic five-state corridor used by the default campaign.
+    ///
+    /// States are laid out west-to-east roughly along the 41–45°N band with
+    /// a freeway spine connecting the major cities, mirroring the paper's
+    /// "major cities and interstate freeways (spanning five states)".
+    pub fn five_state_corridor() -> Self {
+        let mut places = Vec::new();
+        let mut add = |name: &str, state: &str, lat: f64, lon: f64, pop: u32| {
+            let category = if pop >= 300_000 {
+                PlaceCategory::MajorCity
+            } else if pop >= 50_000 {
+                PlaceCategory::City
+            } else {
+                PlaceCategory::Town
+            };
+            places.push(Place {
+                name: name.to_string(),
+                state: state.to_string(),
+                location: GeoPoint::new(lat, lon),
+                population: pop,
+                category,
+            });
+        };
+
+        // State A — "Minnesota-like": one metro, ring cities, river towns.
+        add("Lakeport", "A", 44.95, -93.20, 1_250_000);
+        add("Northfield Junction", "A", 44.45, -93.15, 85_000);
+        add("Cedar Falls", "A", 44.70, -92.60, 42_000);
+        add("Pinebrook", "A", 45.30, -93.80, 28_000);
+        add("Graniteville", "A", 45.55, -94.15, 68_000);
+        add("Elk Prairie", "A", 44.10, -93.95, 11_000);
+
+        // State B — "Wisconsin-like": second metro and dairy towns.
+        add("Brewton", "B", 43.05, -89.40, 650_000);
+        add("Harbor City", "B", 43.04, -87.95, 960_000);
+        add("Sauk Hollow", "B", 43.45, -89.75, 9_500);
+        add("Fox Rapids", "B", 44.25, -88.40, 74_000);
+        add("Juneau Flats", "B", 43.30, -88.70, 16_000);
+
+        // State C — "Illinois-like": the biggest metro on the corridor.
+        add("Lakeshore", "C", 41.88, -87.63, 2_700_000);
+        add("Auroria", "C", 41.76, -88.32, 200_000);
+        add("Prairie Center", "C", 40.70, -89.60, 115_000);
+        add("Galena Bluff", "C", 42.42, -90.43, 3_500);
+        add("Kankakee Forks", "C", 41.12, -87.86, 26_000);
+
+        // State D — "Iowa-like": farm country with sparse towns.
+        add("Des Plaines City", "D", 41.59, -93.62, 215_000);
+        add("Cornville", "D", 41.68, -91.53, 75_000);
+        add("Osceola Bend", "D", 41.03, -93.77, 4_800);
+        add("Storm Ridge", "D", 42.64, -95.20, 10_500);
+        add("Amana Crossing", "D", 41.80, -91.87, 1_700);
+
+        // State E — "South Dakota-like": long empty interstates.
+        add("Sioux Landing", "E", 43.54, -96.73, 195_000);
+        add("Mitchell Plain", "E", 43.71, -98.02, 15_600);
+        add("Chamberlain Gap", "E", 43.81, -99.33, 2_400);
+        add("Rapid Bluffs", "E", 44.08, -103.23, 76_000);
+        add("Wall Flats", "E", 43.99, -102.24, 700);
+
+        Self { places }
+    }
+
+    /// All places.
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+
+    /// Number of places.
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty()
+    }
+
+    /// Distance in km from `p` to the nearest place, with that place.
+    ///
+    /// Returns `None` when the database is empty.
+    pub fn nearest(&self, p: &GeoPoint) -> Option<(&Place, f64)> {
+        self.places
+            .iter()
+            .map(|pl| (pl, pl.location.distance_km(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+    }
+
+    /// Distance in km from `p` to the nearest place of a category at least
+    /// as large as `min_category` (MajorCity > City > Town).
+    pub fn nearest_of_at_least(
+        &self,
+        p: &GeoPoint,
+        min_category: PlaceCategory,
+    ) -> Option<(&Place, f64)> {
+        let rank = |c: PlaceCategory| match c {
+            PlaceCategory::MajorCity => 2,
+            PlaceCategory::City => 1,
+            PlaceCategory::Town => 0,
+        };
+        self.places
+            .iter()
+            .filter(|pl| rank(pl.category) >= rank(min_category))
+            .map(|pl| (pl, pl.location.distance_km(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+    }
+
+    /// Places in the given state.
+    pub fn in_state(&self, state: &str) -> Vec<&Place> {
+        self.places.iter().filter(|p| p.state == state).collect()
+    }
+
+    /// Number of distinct states in the database.
+    pub fn state_count(&self) -> usize {
+        let mut states: Vec<&str> = self.places.iter().map(|p| p.state.as_str()).collect();
+        states.sort_unstable();
+        states.dedup();
+        states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corridor_spans_five_states() {
+        let db = PlaceDb::five_state_corridor();
+        assert_eq!(db.state_count(), 5, "paper spans five states");
+        assert!(db.len() >= 20);
+    }
+
+    #[test]
+    fn corridor_has_major_cities_and_towns() {
+        let db = PlaceDb::five_state_corridor();
+        let majors = db
+            .places()
+            .iter()
+            .filter(|p| p.category == PlaceCategory::MajorCity)
+            .count();
+        let towns = db
+            .places()
+            .iter()
+            .filter(|p| p.category == PlaceCategory::Town)
+            .count();
+        assert!(majors >= 4);
+        assert!(towns >= 6);
+    }
+
+    #[test]
+    fn nearest_finds_lakeshore_from_downtown() {
+        let db = PlaceDb::five_state_corridor();
+        let (place, d) = db.nearest(&GeoPoint::new(41.9, -87.65)).unwrap();
+        assert_eq!(place.name, "Lakeshore");
+        assert!(d < 5.0);
+    }
+
+    #[test]
+    fn nearest_of_at_least_skips_towns() {
+        let db = PlaceDb::five_state_corridor();
+        // Near Wall Flats (a 700-person town), the nearest "City+" place is
+        // Rapid Bluffs, much further away.
+        let p = GeoPoint::new(43.99, -102.24);
+        let (any, d_any) = db.nearest(&p).unwrap();
+        let (city, d_city) = db.nearest_of_at_least(&p, PlaceCategory::City).unwrap();
+        assert_eq!(any.name, "Wall Flats");
+        assert_eq!(city.name, "Rapid Bluffs");
+        assert!(d_city > d_any);
+    }
+
+    #[test]
+    fn empty_db_returns_none() {
+        let db = PlaceDb::from_places(vec![]);
+        assert!(db.nearest(&GeoPoint::new(0.0, 0.0)).is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn categories_follow_population() {
+        let db = PlaceDb::five_state_corridor();
+        for p in db.places() {
+            match p.category {
+                PlaceCategory::MajorCity => assert!(p.population >= 300_000),
+                PlaceCategory::City => assert!((50_000..300_000).contains(&p.population)),
+                PlaceCategory::Town => assert!(p.population < 50_000),
+            }
+        }
+    }
+}

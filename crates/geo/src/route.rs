@@ -1,0 +1,236 @@
+//! Polyline driving routes with arc-length parameterisation.
+
+use crate::point::GeoPoint;
+use crate::speed::RoadClass;
+use serde::{Deserialize, Serialize};
+
+/// One leg of a route: the segment from the previous waypoint to `end`,
+/// tagged with a road class (which determines the speed limit).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RouteLeg {
+    pub end: GeoPoint,
+    pub road: RoadClass,
+}
+
+/// A driving route: an ordered polyline of waypoints with per-leg road
+/// classes, parameterised by cumulative travelled distance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Route {
+    start: GeoPoint,
+    legs: Vec<RouteLeg>,
+    /// Cumulative distance at the end of each leg (km). Same length as `legs`.
+    cumulative_km: Vec<f64>,
+}
+
+/// A sampled position along a route.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RouteSample {
+    pub position: GeoPoint,
+    /// Distance travelled from the start, in kilometres.
+    pub travelled_km: f64,
+    /// Road class of the leg this sample falls on.
+    pub road: RoadClass,
+    /// Heading of travel in degrees clockwise from north.
+    pub heading_deg: f64,
+}
+
+impl Route {
+    /// Total route length in kilometres.
+    pub fn length_km(&self) -> f64 {
+        self.cumulative_km.last().copied().unwrap_or(0.0)
+    }
+
+    /// The starting waypoint.
+    pub fn start(&self) -> GeoPoint {
+        self.start
+    }
+
+    /// Number of legs.
+    pub fn leg_count(&self) -> usize {
+        self.legs.len()
+    }
+
+    /// All waypoints including the start.
+    pub fn waypoints(&self) -> Vec<GeoPoint> {
+        let mut pts = Vec::with_capacity(self.legs.len() + 1);
+        pts.push(self.start);
+        pts.extend(self.legs.iter().map(|l| l.end));
+        pts
+    }
+
+    /// Samples the route at the given travelled distance.
+    ///
+    /// Distances beyond the end clamp to the final point; negative distances
+    /// clamp to the start.
+    pub fn sample_at_km(&self, km: f64) -> RouteSample {
+        if self.legs.is_empty() {
+            return RouteSample {
+                position: self.start,
+                travelled_km: 0.0,
+                road: RoadClass::Local,
+                heading_deg: 0.0,
+            };
+        }
+        let total = self.length_km();
+        let km = km.clamp(0.0, total);
+        // Find the leg containing this distance (first cumulative ≥ km).
+        let idx = match self
+            .cumulative_km
+            .binary_search_by(|c| c.partial_cmp(&km).expect("route distances are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.legs.len() - 1),
+        };
+        let leg_start_km = if idx == 0 {
+            0.0
+        } else {
+            self.cumulative_km[idx - 1]
+        };
+        let leg_len = (self.cumulative_km[idx] - leg_start_km).max(1e-12);
+        let t = ((km - leg_start_km) / leg_len).clamp(0.0, 1.0);
+        let from = if idx == 0 {
+            self.start
+        } else {
+            self.legs[idx - 1].end
+        };
+        let to = self.legs[idx].end;
+        RouteSample {
+            position: from.interpolate(&to, t),
+            travelled_km: km,
+            road: self.legs[idx].road,
+            heading_deg: from.bearing_deg(&to),
+        }
+    }
+
+    /// Samples the route at evenly spaced distances (including both
+    /// endpoints), returning `n` samples. `n` must be at least 2.
+    pub fn sample_evenly(&self, n: usize) -> Vec<RouteSample> {
+        assert!(n >= 2, "need at least two samples");
+        let total = self.length_km();
+        (0..n)
+            .map(|i| self.sample_at_km(total * i as f64 / (n - 1) as f64))
+            .collect()
+    }
+}
+
+/// Incremental builder for [`Route`].
+#[derive(Debug, Clone)]
+pub struct RouteBuilder {
+    start: GeoPoint,
+    legs: Vec<RouteLeg>,
+}
+
+impl RouteBuilder {
+    /// Starts a route at the given point.
+    pub fn new(start: GeoPoint) -> Self {
+        Self {
+            start,
+            legs: Vec::new(),
+        }
+    }
+
+    /// Appends a waypoint reached over the given road class.
+    pub fn leg_to(mut self, end: GeoPoint, road: RoadClass) -> Self {
+        self.legs.push(RouteLeg { end, road });
+        self
+    }
+
+    /// Appends a leg by heading and distance — convenient for synthesising
+    /// routes without a map.
+    pub fn leg_heading(self, bearing_deg: f64, distance_km: f64, road: RoadClass) -> Self {
+        let from = self.last_point();
+        let end = from.destination(bearing_deg, distance_km);
+        self.leg_to(end, road)
+    }
+
+    fn last_point(&self) -> GeoPoint {
+        self.legs.last().map(|l| l.end).unwrap_or(self.start)
+    }
+
+    /// Finalises the route, computing the cumulative distance table.
+    pub fn build(self) -> Route {
+        let mut cumulative = Vec::with_capacity(self.legs.len());
+        let mut acc = 0.0;
+        let mut prev = self.start;
+        for leg in &self.legs {
+            acc += prev.distance_km(&leg.end);
+            cumulative.push(acc);
+            prev = leg.end;
+        }
+        Route {
+            start: self.start,
+            legs: self.legs,
+            cumulative_km: cumulative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_route() -> Route {
+        RouteBuilder::new(GeoPoint::new(45.0, -93.0))
+            .leg_heading(90.0, 100.0, RoadClass::Interstate)
+            .leg_heading(90.0, 50.0, RoadClass::Arterial)
+            .build()
+    }
+
+    #[test]
+    fn length_is_sum_of_legs() {
+        let r = straight_route();
+        assert!((r.length_km() - 150.0).abs() < 1e-6, "{}", r.length_km());
+    }
+
+    #[test]
+    fn sample_clamps_to_ends() {
+        let r = straight_route();
+        let before = r.sample_at_km(-10.0);
+        let after = r.sample_at_km(1e9);
+        assert!(before.position.distance_km(&r.start()) < 1e-6);
+        assert!((after.travelled_km - r.length_km()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_road_class_transitions() {
+        let r = straight_route();
+        assert_eq!(r.sample_at_km(50.0).road, RoadClass::Interstate);
+        assert_eq!(r.sample_at_km(120.0).road, RoadClass::Arterial);
+    }
+
+    #[test]
+    fn sample_distance_matches_geometry() {
+        let r = straight_route();
+        let s = r.sample_at_km(75.0);
+        let d = r.start().distance_km(&s.position);
+        // A great-circle polyline with a single heading: travelled distance
+        // equals straight-line distance to within interpolation error.
+        assert!((d - 75.0).abs() < 0.5, "got {d}");
+    }
+
+    #[test]
+    fn even_sampling_monotone() {
+        let r = straight_route();
+        let samples = r.sample_evenly(31);
+        assert_eq!(samples.len(), 31);
+        for w in samples.windows(2) {
+            assert!(w[1].travelled_km >= w[0].travelled_km);
+        }
+    }
+
+    #[test]
+    fn empty_route_samples_start() {
+        let r = RouteBuilder::new(GeoPoint::new(1.0, 2.0)).build();
+        assert_eq!(r.length_km(), 0.0);
+        let s = r.sample_at_km(5.0);
+        assert!(s.position.distance_km(&GeoPoint::new(1.0, 2.0)) < 1e-9);
+    }
+
+    #[test]
+    fn waypoints_include_start_and_ends() {
+        let r = straight_route();
+        let wps = r.waypoints();
+        assert_eq!(wps.len(), 3);
+        assert!(wps[0].distance_km(&r.start()) < 1e-9);
+    }
+}

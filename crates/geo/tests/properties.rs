@@ -1,0 +1,81 @@
+//! Property tests for the geodesy substrate: invariants that must hold
+//! for arbitrary coordinates and routes.
+
+use leo_geo::point::{GeoPoint, EARTH_RADIUS_KM};
+use leo_geo::route::RouteBuilder;
+use leo_geo::speed::RoadClass;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-85.0..85.0f64, -179.0..179.0f64).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    /// Distance is a metric: non-negative, symmetric, zero on identity.
+    #[test]
+    fn distance_is_a_metric(a in arb_point(), b in arb_point()) {
+        let dab = a.distance_km(&b);
+        let dba = b.distance_km(&a);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-6);
+        prop_assert!(a.distance_km(&a) < 1e-9);
+        // And bounded by half the Earth's circumference.
+        prop_assert!(dab <= std::f64::consts::PI * EARTH_RADIUS_KM + 1.0);
+    }
+
+    /// Travelling `d` along any bearing lands exactly `d` away.
+    #[test]
+    fn destination_distance_is_exact(
+        p in arb_point(),
+        bearing in 0.0..360.0f64,
+        d in 0.1..5000.0f64,
+    ) {
+        let q = p.destination(bearing, d);
+        prop_assert!((p.distance_km(&q) - d).abs() < 1e-3,
+            "asked {d} km, got {}", p.distance_km(&q));
+    }
+
+    /// Great-circle interpolation endpoints and triangle inequality.
+    #[test]
+    fn interpolation_stays_on_segment(a in arb_point(), b in arb_point(), t in 0.0..1.0f64) {
+        let m = a.interpolate(&b, t);
+        let d = a.distance_km(&b);
+        // The two legs add up to the whole (within tolerance).
+        prop_assert!((a.distance_km(&m) + m.distance_km(&b) - d).abs() < 1e-3,
+            "legs {} + {} vs total {d}", a.distance_km(&m), m.distance_km(&b));
+    }
+
+    /// ECEF round trip is the identity at any altitude.
+    #[test]
+    fn ecef_round_trip(p in arb_point(), alt in 0.0..2000.0f64) {
+        let (back, alt2) = p.to_ecef(alt).to_geo();
+        prop_assert!((back.lat_deg - p.lat_deg).abs() < 1e-9);
+        prop_assert!((back.lon_deg - p.lon_deg).abs() < 1e-9);
+        prop_assert!((alt2 - alt).abs() < 1e-9);
+    }
+
+    /// Route sampling: travelled distance is monotone and bounded by the
+    /// route length; positions of consecutive samples are close.
+    #[test]
+    fn route_sampling_is_monotone(
+        start in arb_point(),
+        legs in prop::collection::vec((0.0..360.0f64, 1.0..80.0f64), 1..8),
+    ) {
+        let mut b = RouteBuilder::new(start);
+        for (bearing, km) in &legs {
+            b = b.leg_heading(*bearing, *km, RoadClass::Highway);
+        }
+        let route = b.build();
+        let total = route.length_km();
+        prop_assert!(total > 0.0);
+        let samples = route.sample_evenly(32);
+        for w in samples.windows(2) {
+            prop_assert!(w[1].travelled_km >= w[0].travelled_km);
+            prop_assert!(w[1].travelled_km <= total + 1e-9);
+            // Consecutive samples are at most one even-step apart on the
+            // ground (great-circle shortcuts can only make it shorter).
+            let step = total / 31.0;
+            prop_assert!(w[0].position.distance_km(&w[1].position) <= step + 1e-6);
+        }
+    }
+}

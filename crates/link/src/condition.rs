@@ -1,0 +1,187 @@
+//! Instantaneous link conditions.
+
+use serde::{Deserialize, Serialize};
+
+/// The condition of one direction of a link at one instant.
+///
+/// This is the interface between the world models and everything downstream:
+/// a Starlink or cellular model reduces all of its physics to a per-second
+/// `LinkCondition`, which the measurement tools sample and the emulator
+/// replays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkCondition {
+    /// Available capacity in Mbit/s (what a saturating UDP flood would see).
+    pub capacity_mbps: f64,
+    /// Base round-trip time in milliseconds (propagation + scheduling,
+    /// excluding queueing the sender itself induces).
+    pub rtt_ms: f64,
+    /// Random packet loss probability in `[0, 1]` (bursty channel loss is
+    /// expressed by varying this over time).
+    pub loss: f64,
+}
+
+impl LinkCondition {
+    /// A completely dead link.
+    pub const OUTAGE: LinkCondition = LinkCondition {
+        capacity_mbps: 0.0,
+        rtt_ms: 1000.0,
+        loss: 1.0,
+    };
+
+    /// Creates a condition, clamping values to their valid ranges.
+    pub fn new(capacity_mbps: f64, rtt_ms: f64, loss: f64) -> Self {
+        Self {
+            capacity_mbps: capacity_mbps.max(0.0),
+            rtt_ms: rtt_ms.max(0.0),
+            loss: loss.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Whether the link is effectively unusable.
+    pub fn is_outage(&self) -> bool {
+        self.capacity_mbps < 0.1 || self.loss >= 0.999
+    }
+
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> f64 {
+        self.capacity_mbps * 1e6 / 8.0 * self.rtt_ms / 1e3
+    }
+
+    /// Linear interpolation between two conditions (`t ∈ [0, 1]`).
+    pub fn lerp(&self, other: &LinkCondition, t: f64) -> LinkCondition {
+        let t = t.clamp(0.0, 1.0);
+        LinkCondition::new(
+            self.capacity_mbps + (other.capacity_mbps - self.capacity_mbps) * t,
+            self.rtt_ms + (other.rtt_ms - self.rtt_ms) * t,
+            self.loss + (other.loss - self.loss) * t,
+        )
+    }
+
+    /// Returns this condition with capacity scaled by `factor` (e.g. rain
+    /// fade, congestion priority).
+    pub fn scale_capacity(&self, factor: f64) -> LinkCondition {
+        LinkCondition::new(self.capacity_mbps * factor.max(0.0), self.rtt_ms, self.loss)
+    }
+}
+
+/// Downlink + uplink conditions of a duplex link.
+///
+/// Starlink divides uplink and downlink by FDD with a ~10× capacity
+/// asymmetry (§4.1); cellular links are similarly asymmetric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DuplexCondition {
+    pub down: LinkCondition,
+    pub up: LinkCondition,
+}
+
+impl DuplexCondition {
+    /// Creates a duplex condition.
+    pub fn new(down: LinkCondition, up: LinkCondition) -> Self {
+        Self { down, up }
+    }
+
+    /// A full outage in both directions.
+    pub const OUTAGE: DuplexCondition = DuplexCondition {
+        down: LinkCondition::OUTAGE,
+        up: LinkCondition::OUTAGE,
+    };
+
+    /// Picks the condition for the requested direction.
+    pub fn dir(&self, direction: Direction) -> &LinkCondition {
+        match direction {
+            Direction::Down => &self.down,
+            Direction::Up => &self.up,
+        }
+    }
+
+    /// Down/up capacity ratio; `f64::INFINITY` when the uplink is dead.
+    pub fn asymmetry(&self) -> f64 {
+        if self.up.capacity_mbps <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.down.capacity_mbps / self.up.capacity_mbps
+        }
+    }
+}
+
+/// Transfer direction, from the vehicle's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Server → vehicle (download).
+    Down,
+    /// Vehicle → server (upload).
+    Up,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Direction::Down => "downlink",
+            Direction::Up => "uplink",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clamps_ranges() {
+        let c = LinkCondition::new(-5.0, -1.0, 2.0);
+        assert_eq!(c.capacity_mbps, 0.0);
+        assert_eq!(c.rtt_ms, 0.0);
+        assert_eq!(c.loss, 1.0);
+    }
+
+    #[test]
+    fn outage_detection() {
+        assert!(LinkCondition::OUTAGE.is_outage());
+        assert!(!LinkCondition::new(100.0, 50.0, 0.01).is_outage());
+        assert!(LinkCondition::new(0.05, 50.0, 0.0).is_outage());
+    }
+
+    #[test]
+    fn bdp_of_100mbps_50ms() {
+        let c = LinkCondition::new(100.0, 50.0, 0.0);
+        // 100 Mbps × 50 ms = 625,000 bytes.
+        assert!((c.bdp_bytes() - 625_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = LinkCondition::new(0.0, 20.0, 0.0);
+        let b = LinkCondition::new(100.0, 40.0, 0.2);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let m = a.lerp(&b, 0.5);
+        assert!((m.capacity_mbps - 50.0).abs() < 1e-9);
+        assert!((m.rtt_ms - 30.0).abs() < 1e-9);
+        assert!((m.loss - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_capacity_leaves_rtt_loss() {
+        let c = LinkCondition::new(200.0, 55.0, 0.01).scale_capacity(0.5);
+        assert!((c.capacity_mbps - 100.0).abs() < 1e-9);
+        assert_eq!(c.rtt_ms, 55.0);
+        assert_eq!(c.loss, 0.01);
+    }
+
+    #[test]
+    fn duplex_asymmetry() {
+        let d = DuplexCondition::new(
+            LinkCondition::new(150.0, 50.0, 0.0),
+            LinkCondition::new(15.0, 50.0, 0.0),
+        );
+        assert!((d.asymmetry() - 10.0).abs() < 1e-9);
+        assert_eq!(d.dir(Direction::Down).capacity_mbps, 150.0);
+        assert_eq!(d.dir(Direction::Up).capacity_mbps, 15.0);
+    }
+
+    #[test]
+    fn dead_uplink_asymmetry_is_infinite() {
+        let d = DuplexCondition::new(LinkCondition::new(100.0, 50.0, 0.0), LinkCondition::OUTAGE);
+        assert!(d.asymmetry().is_infinite());
+    }
+}

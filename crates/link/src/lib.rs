@@ -1,0 +1,26 @@
+//! Link-condition time series, trace alignment, and the Mahimahi
+//! packet-delivery trace format.
+//!
+//! This crate defines the *lingua franca* between the world simulators
+//! (`leo-orbit`, `leo-cellular`), the measurement tools (`leo-measure`),
+//! and the trace-driven emulator (`leo-netsim`):
+//!
+//! * [`LinkCondition`] — instantaneous capacity / RTT / loss of one
+//!   direction of a link,
+//! * [`DuplexCondition`] — a downlink/uplink pair (Starlink's FDD split),
+//! * [`LinkTrace`] — a 1 Hz time series of conditions with alignment and
+//!   resampling, mirroring §6's "aligned via timestamps",
+//! * [`MahimahiTrace`] — the millisecond-granularity MTU delivery schedule
+//!   Mahimahi (and the paper's MpShell variant) replays; conversion both
+//!   ways plus the text format.
+
+pub mod condition;
+pub mod mahimahi;
+pub mod trace;
+
+pub use condition::{DuplexCondition, LinkCondition};
+pub use mahimahi::MahimahiTrace;
+pub use trace::{LinkTrace, TraceStats};
+
+/// The MTU Mahimahi assumes: one trace slot delivers one 1500-byte packet.
+pub const MTU_BYTES: u64 = 1500;

@@ -1,0 +1,299 @@
+//! The Mahimahi packet-delivery trace format.
+//!
+//! Mahimahi (Netravali et al., ATC '15) — and the paper's MpShell variant —
+//! model a link as a schedule of *delivery opportunities*: a text file with
+//! one millisecond timestamp per line, each granting the link the right to
+//! deliver one MTU (1500-byte) packet at that instant. When the trace ends
+//! it wraps around, repeating with an offset.
+//!
+//! §6: "we use the UDP downlink throughput traces in our driving dataset and
+//! convert them to packet traces for replay on MpShell." That conversion is
+//! [`MahimahiTrace::from_capacity_series`]; the reverse (estimating a
+//! per-second capacity series from a schedule) is
+//! [`MahimahiTrace::to_capacity_series`].
+
+use crate::trace::LinkTrace;
+use crate::MTU_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// A Mahimahi delivery schedule: sorted millisecond timestamps, each worth
+/// one MTU of delivery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MahimahiTrace {
+    /// Delivery opportunities, in non-decreasing milliseconds.
+    deliveries_ms: Vec<u64>,
+    /// Period of the schedule in ms (wrap-around point). Always ≥ the last
+    /// delivery timestamp.
+    period_ms: u64,
+}
+
+/// Errors from parsing the Mahimahi text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line was not a non-negative integer.
+    BadLine { line_no: usize, content: String },
+    /// Timestamps decreased.
+    NotSorted { line_no: usize },
+    /// The file had no delivery opportunities.
+    Empty,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line_no, content } => {
+                write!(f, "line {line_no}: not a timestamp: {content:?}")
+            }
+            ParseError::NotSorted { line_no } => {
+                write!(f, "line {line_no}: timestamps must be non-decreasing")
+            }
+            ParseError::Empty => write!(f, "trace has no delivery opportunities"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl MahimahiTrace {
+    /// Builds a schedule from explicit delivery timestamps.
+    ///
+    /// Timestamps must be non-decreasing; the period defaults to the last
+    /// timestamp rounded up to the next millisecond (minimum 1 ms).
+    pub fn from_deliveries(deliveries_ms: Vec<u64>) -> Self {
+        debug_assert!(deliveries_ms.windows(2).all(|w| w[1] >= w[0]));
+        let period_ms = deliveries_ms.last().map(|&t| t + 1).unwrap_or(1);
+        Self {
+            deliveries_ms,
+            period_ms,
+        }
+    }
+
+    /// Converts a per-second capacity series (Mbps) into a delivery
+    /// schedule, accumulating fractional packets so the long-run rate is
+    /// exact.
+    pub fn from_capacity_series(capacity_mbps: &[f64]) -> Self {
+        let mut deliveries = Vec::new();
+        let mut credit_bytes = 0.0;
+        for (sec, &mbps) in capacity_mbps.iter().enumerate() {
+            let bytes_per_ms = mbps.max(0.0) * 1e6 / 8.0 / 1000.0;
+            for ms in 0..1000u64 {
+                credit_bytes += bytes_per_ms;
+                while credit_bytes >= MTU_BYTES as f64 {
+                    deliveries.push(sec as u64 * 1000 + ms);
+                    credit_bytes -= MTU_BYTES as f64;
+                }
+            }
+        }
+        Self {
+            deliveries_ms: deliveries,
+            period_ms: (capacity_mbps.len() as u64).max(1) * 1000,
+        }
+    }
+
+    /// Converts a [`LinkTrace`]'s capacity series into a schedule.
+    pub fn from_link_trace(trace: &LinkTrace) -> Self {
+        Self::from_capacity_series(&trace.capacity_series())
+    }
+
+    /// Estimates the per-second capacity series (Mbps) that this schedule
+    /// realises.
+    pub fn to_capacity_series(&self) -> Vec<f64> {
+        let secs = self.period_ms.div_ceil(1000).max(1);
+        let mut out = vec![0.0; secs as usize];
+        for &t in &self.deliveries_ms {
+            let sec = (t / 1000) as usize;
+            if sec < out.len() {
+                out[sec] += MTU_BYTES as f64 * 8.0 / 1e6;
+            }
+        }
+        out
+    }
+
+    /// Total delivery opportunities.
+    pub fn len(&self) -> usize {
+        self.deliveries_ms.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deliveries_ms.is_empty()
+    }
+
+    /// Schedule period in milliseconds (wrap point).
+    pub fn period_ms(&self) -> u64 {
+        self.period_ms
+    }
+
+    /// The raw delivery timestamps.
+    pub fn deliveries_ms(&self) -> &[u64] {
+        &self.deliveries_ms
+    }
+
+    /// Average rate of the schedule over its period, Mbps.
+    pub fn mean_rate_mbps(&self) -> f64 {
+        if self.period_ms == 0 {
+            return 0.0;
+        }
+        self.deliveries_ms.len() as f64 * MTU_BYTES as f64 * 8.0 / (self.period_ms as f64 * 1e3)
+    }
+
+    /// The `n`-th delivery opportunity (0-based), accounting for
+    /// wrap-around: opportunity `n` beyond the schedule occurs at
+    /// `period * (n / len) + deliveries[n % len]`.
+    pub fn delivery_time_ms(&self, n: u64) -> u64 {
+        assert!(
+            !self.deliveries_ms.is_empty(),
+            "empty schedule never delivers"
+        );
+        let len = self.deliveries_ms.len() as u64;
+        let wraps = n / len;
+        let idx = (n % len) as usize;
+        wraps * self.period_ms + self.deliveries_ms[idx]
+    }
+
+    /// Index of the first delivery opportunity at or after `t_ms`
+    /// (wrap-aware). Use with [`Self::delivery_time_ms`].
+    pub fn next_opportunity_at_or_after(&self, t_ms: u64) -> u64 {
+        assert!(
+            !self.deliveries_ms.is_empty(),
+            "empty schedule never delivers"
+        );
+        let len = self.deliveries_ms.len() as u64;
+        let wraps = t_ms / self.period_ms;
+        let rem = t_ms % self.period_ms;
+        let idx = self.deliveries_ms.partition_point(|&d| d < rem) as u64;
+        if idx < len {
+            wraps * len + idx
+        } else {
+            (wraps + 1) * len
+        }
+    }
+
+    /// Serialises to the Mahimahi text format (one timestamp per line).
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(self.deliveries_ms.len() * 7);
+        for t in &self.deliveries_ms {
+            s.push_str(&t.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses the Mahimahi text format.
+    pub fn from_text(text: &str) -> Result<Self, ParseError> {
+        let mut deliveries = Vec::new();
+        let mut prev = 0u64;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let t: u64 = line.parse().map_err(|_| ParseError::BadLine {
+                line_no: i + 1,
+                content: line.to_string(),
+            })?;
+            if t < prev {
+                return Err(ParseError::NotSorted { line_no: i + 1 });
+            }
+            prev = t;
+            deliveries.push(t);
+        }
+        if deliveries.is_empty() {
+            return Err(ParseError::Empty);
+        }
+        Ok(Self::from_deliveries(deliveries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_round_trips() {
+        // 12 Mbps = 1000 packets/s exactly (12e6 / 8 / 1500 = 1000).
+        let series = vec![12.0; 5];
+        let trace = MahimahiTrace::from_capacity_series(&series);
+        assert_eq!(trace.len(), 5000);
+        let back = trace.to_capacity_series();
+        assert_eq!(back.len(), 5);
+        for v in back {
+            assert!((v - 12.0).abs() < 0.05, "got {v}");
+        }
+    }
+
+    #[test]
+    fn fractional_rate_accumulates() {
+        // 1 Mbps = 83.33 packets/s; over 12 s expect ≈1000 packets.
+        let trace = MahimahiTrace::from_capacity_series(&[1.0; 12]);
+        let n = trace.len() as i64;
+        assert!((n - 1000).abs() <= 2, "got {n}");
+    }
+
+    #[test]
+    fn zero_capacity_has_no_deliveries() {
+        let trace = MahimahiTrace::from_capacity_series(&[0.0, 0.0]);
+        assert!(trace.is_empty());
+        assert_eq!(trace.period_ms(), 2000);
+        assert_eq!(trace.mean_rate_mbps(), 0.0);
+    }
+
+    #[test]
+    fn mean_rate_matches_input() {
+        let series = vec![50.0, 100.0, 150.0];
+        let trace = MahimahiTrace::from_capacity_series(&series);
+        assert!((trace.mean_rate_mbps() - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn wrap_around_delivery_times() {
+        let trace = MahimahiTrace::from_deliveries(vec![10, 20, 30]);
+        // period = 31.
+        assert_eq!(trace.delivery_time_ms(0), 10);
+        assert_eq!(trace.delivery_time_ms(2), 30);
+        assert_eq!(trace.delivery_time_ms(3), 31 + 10);
+        assert_eq!(trace.delivery_time_ms(7), 2 * 31 + 20);
+    }
+
+    #[test]
+    fn next_opportunity_search() {
+        let trace = MahimahiTrace::from_deliveries(vec![10, 20, 30]);
+        assert_eq!(trace.next_opportunity_at_or_after(0), 0);
+        assert_eq!(trace.next_opportunity_at_or_after(10), 0);
+        assert_eq!(trace.next_opportunity_at_or_after(11), 1);
+        assert_eq!(trace.next_opportunity_at_or_after(30), 2);
+        // After the last delivery, the next one is in the following period.
+        assert_eq!(trace.next_opportunity_at_or_after(31 + 5), 3);
+        let idx = trace.next_opportunity_at_or_after(31);
+        assert_eq!(trace.delivery_time_ms(idx), 31 + 10);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let trace = MahimahiTrace::from_deliveries(vec![1, 5, 5, 9]);
+        let parsed = MahimahiTrace::from_text(&trace.to_text()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_unsorted() {
+        assert!(matches!(
+            MahimahiTrace::from_text("1\nfoo\n"),
+            Err(ParseError::BadLine { line_no: 2, .. })
+        ));
+        assert!(matches!(
+            MahimahiTrace::from_text("5\n3\n"),
+            Err(ParseError::NotSorted { line_no: 2 })
+        ));
+        assert_eq!(
+            MahimahiTrace::from_text("# nothing\n"),
+            Err(ParseError::Empty)
+        );
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let parsed = MahimahiTrace::from_text("# header\n\n10\n20\n").unwrap();
+        assert_eq!(parsed.deliveries_ms(), &[10, 20]);
+    }
+}

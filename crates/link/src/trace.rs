@@ -1,0 +1,303 @@
+//! 1 Hz link-condition time series.
+
+use crate::condition::LinkCondition;
+use serde::{Deserialize, Serialize};
+
+/// A time series of link conditions sampled at 1 Hz, starting at
+/// `start_t_s` seconds of campaign time.
+///
+/// §6: "Different network traces are aligned via timestamps so that they
+/// reflect the network conditions experienced by users at the same location
+/// and time." [`LinkTrace::align`] implements exactly that intersection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkTrace {
+    /// Campaign timestamp of the first sample, seconds.
+    pub start_t_s: u64,
+    /// Human-readable label, e.g. `"MOB"` or `"ATT"`.
+    pub label: String,
+    samples: Vec<LinkCondition>,
+}
+
+/// Summary statistics over a trace's capacity series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    pub mean_mbps: f64,
+    pub median_mbps: f64,
+    pub p25_mbps: f64,
+    pub p75_mbps: f64,
+    pub min_mbps: f64,
+    pub max_mbps: f64,
+    pub mean_rtt_ms: f64,
+    pub mean_loss: f64,
+    /// Fraction of samples that are outages.
+    pub outage_frac: f64,
+}
+
+impl LinkTrace {
+    /// Creates a trace from samples.
+    pub fn new(label: impl Into<String>, start_t_s: u64, samples: Vec<LinkCondition>) -> Self {
+        Self {
+            start_t_s,
+            label: label.into(),
+            samples,
+        }
+    }
+
+    /// Duration in seconds (= number of samples).
+    pub fn duration_s(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Campaign timestamp one past the last sample.
+    pub fn end_t_s(&self) -> u64 {
+        self.start_t_s + self.duration_s()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[LinkCondition] {
+        &self.samples
+    }
+
+    /// The condition at campaign time `t_s`, or `None` outside the trace.
+    pub fn at(&self, t_s: u64) -> Option<&LinkCondition> {
+        t_s.checked_sub(self.start_t_s)
+            .and_then(|off| self.samples.get(off as usize))
+    }
+
+    /// The condition at trace-relative second `off_s`, clamping past-the-end
+    /// queries to the last sample. Panics on an empty trace.
+    pub fn at_offset_clamped(&self, off_s: u64) -> &LinkCondition {
+        assert!(!self.samples.is_empty(), "empty trace");
+        let idx = (off_s as usize).min(self.samples.len() - 1);
+        &self.samples[idx]
+    }
+
+    /// Restricts this trace and `other` to their common time window,
+    /// returning aligned copies (both starting at the same campaign time,
+    /// same duration). Returns `None` when the windows don't overlap.
+    pub fn align(&self, other: &LinkTrace) -> Option<(LinkTrace, LinkTrace)> {
+        let start = self.start_t_s.max(other.start_t_s);
+        let end = self.end_t_s().min(other.end_t_s());
+        if start >= end {
+            return None;
+        }
+        Some((self.window(start, end), other.window(start, end)))
+    }
+
+    /// The sub-trace covering campaign times `[start, end)`. The window must
+    /// lie inside this trace.
+    pub fn window(&self, start_t_s: u64, end_t_s: u64) -> LinkTrace {
+        assert!(start_t_s >= self.start_t_s && end_t_s <= self.end_t_s());
+        let a = (start_t_s - self.start_t_s) as usize;
+        let b = (end_t_s - self.start_t_s) as usize;
+        LinkTrace {
+            start_t_s,
+            label: self.label.clone(),
+            samples: self.samples[a..b].to_vec(),
+        }
+    }
+
+    /// Capacity series in Mbps.
+    pub fn capacity_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|c| c.capacity_mbps).collect()
+    }
+
+    /// Concatenates `next` onto this trace. `next` must start exactly
+    /// where this trace ends (campaign time is continuous).
+    ///
+    /// # Panics
+    /// Panics if the timestamps do not line up.
+    pub fn concat(mut self, next: &LinkTrace) -> LinkTrace {
+        assert_eq!(
+            self.end_t_s(),
+            next.start_t_s,
+            "traces must be contiguous to concatenate"
+        );
+        self.samples.extend_from_slice(&next.samples);
+        self
+    }
+
+    /// Returns a copy with every capacity scaled by `factor` (e.g. to
+    /// model a plan downgrade or emulate a slower tier).
+    pub fn scale_capacity(&self, factor: f64) -> LinkTrace {
+        LinkTrace {
+            start_t_s: self.start_t_s,
+            label: self.label.clone(),
+            samples: self
+                .samples
+                .iter()
+                .map(|c| c.scale_capacity(factor))
+                .collect(),
+        }
+    }
+
+    /// Returns a copy with the capacity series smoothed by a centred
+    /// moving average of width `w` (RTT and loss untouched) — useful to
+    /// separate slow trends from fast fades when eyeballing traces.
+    pub fn smooth_capacity(&self, w: usize) -> LinkTrace {
+        assert!(w >= 1);
+        let caps = self.capacity_series();
+        let smoothed: Vec<f64> = (0..caps.len())
+            .map(|i| {
+                let lo = i.saturating_sub(w / 2);
+                let hi = (i + w / 2 + 1).min(caps.len());
+                caps[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect();
+        LinkTrace {
+            start_t_s: self.start_t_s,
+            label: self.label.clone(),
+            samples: self
+                .samples
+                .iter()
+                .zip(smoothed)
+                .map(|(c, cap)| LinkCondition::new(cap, c.rtt_ms, c.loss))
+                .collect(),
+        }
+    }
+
+    /// Summary statistics. Returns `None` for an empty trace.
+    pub fn stats(&self) -> Option<TraceStats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut caps = self.capacity_series();
+        caps.sort_by(|a, b| a.partial_cmp(b).expect("capacities are finite"));
+        let q = |p: f64| -> f64 {
+            // Nearest-rank with linear interpolation.
+            let idx = p * (caps.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            caps[lo] + (caps[hi] - caps[lo]) * (idx - lo as f64)
+        };
+        let n = self.samples.len() as f64;
+        Some(TraceStats {
+            mean_mbps: caps.iter().sum::<f64>() / n,
+            median_mbps: q(0.5),
+            p25_mbps: q(0.25),
+            p75_mbps: q(0.75),
+            min_mbps: caps[0],
+            max_mbps: caps[caps.len() - 1],
+            mean_rtt_ms: self.samples.iter().map(|c| c.rtt_ms).sum::<f64>() / n,
+            mean_loss: self.samples.iter().map(|c| c.loss).sum::<f64>() / n,
+            outage_frac: self.samples.iter().filter(|c| c.is_outage()).count() as f64 / n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(label: &str, start: u64, len: usize, mbps: f64) -> LinkTrace {
+        LinkTrace::new(label, start, vec![LinkCondition::new(mbps, 50.0, 0.0); len])
+    }
+
+    #[test]
+    fn at_respects_offsets() {
+        let t = flat("x", 100, 10, 50.0);
+        assert!(t.at(99).is_none());
+        assert!(t.at(100).is_some());
+        assert!(t.at(109).is_some());
+        assert!(t.at(110).is_none());
+    }
+
+    #[test]
+    fn align_intersects_windows() {
+        let a = flat("a", 0, 100, 10.0);
+        let b = flat("b", 50, 100, 20.0);
+        let (aa, bb) = a.align(&b).unwrap();
+        assert_eq!(aa.start_t_s, 50);
+        assert_eq!(bb.start_t_s, 50);
+        assert_eq!(aa.duration_s(), 50);
+        assert_eq!(bb.duration_s(), 50);
+    }
+
+    #[test]
+    fn align_disjoint_is_none() {
+        let a = flat("a", 0, 10, 10.0);
+        let b = flat("b", 100, 10, 20.0);
+        assert!(a.align(&b).is_none());
+    }
+
+    #[test]
+    fn stats_of_flat_trace() {
+        let t = flat("x", 0, 60, 80.0);
+        let s = t.stats().unwrap();
+        assert_eq!(s.mean_mbps, 80.0);
+        assert_eq!(s.median_mbps, 80.0);
+        assert_eq!(s.outage_frac, 0.0);
+    }
+
+    #[test]
+    fn stats_quantiles_of_ramp() {
+        // Capacities 0..=100 — median 50, p25 25, p75 75.
+        let samples: Vec<LinkCondition> = (0..=100)
+            .map(|i| LinkCondition::new(i as f64, 50.0, 0.0))
+            .collect();
+        let s = LinkTrace::new("r", 0, samples).stats().unwrap();
+        assert!((s.median_mbps - 50.0).abs() < 1e-9);
+        assert!((s.p25_mbps - 25.0).abs() < 1e-9);
+        assert!((s.p75_mbps - 75.0).abs() < 1e-9);
+        assert!((s.mean_mbps - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_empty_is_none() {
+        let t = LinkTrace::new("e", 0, vec![]);
+        assert!(t.stats().is_none());
+    }
+
+    #[test]
+    fn outage_frac_counts_outages() {
+        let mut samples = vec![LinkCondition::new(100.0, 50.0, 0.0); 8];
+        samples.extend([LinkCondition::OUTAGE; 2]);
+        let s = LinkTrace::new("o", 0, samples).stats().unwrap();
+        assert!((s.outage_frac - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concat_requires_contiguity() {
+        let a = flat("x", 0, 5, 10.0);
+        let b = flat("x", 5, 5, 20.0);
+        let joined = a.concat(&b);
+        assert_eq!(joined.duration_s(), 10);
+        assert_eq!(joined.at(7).unwrap().capacity_mbps, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn concat_rejects_gap() {
+        let a = flat("x", 0, 5, 10.0);
+        let b = flat("x", 9, 5, 20.0);
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn scale_capacity_scales_only_capacity() {
+        let t = flat("x", 0, 4, 100.0).scale_capacity(0.5);
+        let s = t.stats().unwrap();
+        assert_eq!(s.mean_mbps, 50.0);
+        assert_eq!(s.mean_rtt_ms, 50.0);
+    }
+
+    #[test]
+    fn smoothing_reduces_variance_preserves_mean() {
+        let samples: Vec<LinkCondition> = (0..50)
+            .map(|i| LinkCondition::new(if i % 2 == 0 { 0.0 } else { 200.0 }, 50.0, 0.0))
+            .collect();
+        let t = LinkTrace::new("z", 0, samples);
+        let sm = t.smooth_capacity(5);
+        let raw_stats = t.stats().unwrap();
+        let sm_stats = sm.stats().unwrap();
+        assert!((raw_stats.mean_mbps - sm_stats.mean_mbps).abs() < 10.0);
+        assert!(sm_stats.max_mbps - sm_stats.min_mbps < raw_stats.max_mbps - raw_stats.min_mbps);
+    }
+
+    #[test]
+    fn clamped_offset_queries() {
+        let t = flat("x", 0, 5, 42.0);
+        assert_eq!(t.at_offset_clamped(0).capacity_mbps, 42.0);
+        assert_eq!(t.at_offset_clamped(1000).capacity_mbps, 42.0);
+    }
+}

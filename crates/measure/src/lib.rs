@@ -1,0 +1,28 @@
+//! The paper's measurement tool suite, re-implemented against the
+//! simulated networks.
+//!
+//! §3.2 lists three tools; each has a counterpart here:
+//!
+//! 1. **iPerf** → [`iperf`]: TCP/UDP uplink/downlink bulk transfers with
+//!    `-P` parallelism. Two engines: a *packet-level* engine that replays
+//!    link conditions through `leo-netsim` + `leo-transport` (used for the
+//!    focused §4.2/§6 experiments), and a calibrated *analytic* engine for
+//!    campaign-scale sweeps (1,239 tests would take hours at packet
+//!    granularity; the analytic engine reproduces the same response
+//!    curves in microseconds).
+//! 2. **UDP-Ping** → [`udp_ping`]: the paper's custom Android app sending
+//!    1024-byte UDP probes and recording RTTs.
+//! 3. **5G Tracker** → [`tracker`]: the context logger capturing time,
+//!    GPS, speed, and serving network.
+//!
+//! Plus [`tcpdump`]: retransmission accounting over iPerf runs (Figure 5).
+
+pub mod iperf;
+pub mod tcpdump;
+pub mod tracker;
+pub mod udp_ping;
+
+pub use iperf::{Engine, IperfConfig, IperfProtocol, IperfReport, IperfRunner};
+pub use tcpdump::TcpdumpStats;
+pub use tracker::{Tracker, TrackerRow};
+pub use udp_ping::{PingReport, UdpPing};

@@ -1,0 +1,73 @@
+//! Tcpdump-style retransmission accounting.
+//!
+//! §4.1: "we analyze the Tcpdump traces collected while running iPerf and
+//! plot the average TCP packet loss across all networks in Figure 5."
+//! The emulated equivalent aggregates retransmission statistics across a
+//! set of iPerf runs, per network and direction.
+
+use crate::iperf::IperfReport;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated retransmission statistics for one (network, direction).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TcpdumpStats {
+    pub runs: u64,
+    /// Mean retransmission rate across runs.
+    pub mean_retrans_rate: f64,
+    /// Max observed across runs.
+    pub max_retrans_rate: f64,
+}
+
+impl TcpdumpStats {
+    /// Aggregates a set of iPerf reports.
+    pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a IperfReport>) -> Self {
+        let mut n = 0u64;
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for r in reports {
+            n += 1;
+            sum += r.retrans_rate;
+            max = max.max(r.retrans_rate);
+        }
+        Self {
+            runs: n,
+            mean_retrans_rate: if n == 0 { 0.0 } else { sum / n as f64 },
+            max_retrans_rate: max,
+        }
+    }
+
+    /// Mean retransmission rate as a percentage (Figure 5's y-axis).
+    pub fn mean_percent(&self) -> f64 {
+        self.mean_retrans_rate * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rate: f64) -> IperfReport {
+        IperfReport {
+            per_second_mbps: vec![10.0],
+            mean_mbps: 10.0,
+            retrans_rate: rate,
+        }
+    }
+
+    #[test]
+    fn aggregates_mean_and_max() {
+        let reports = [report(0.01), report(0.02), report(0.03)];
+        let s = TcpdumpStats::from_reports(reports.iter());
+        assert_eq!(s.runs, 3);
+        assert!((s.mean_retrans_rate - 0.02).abs() < 1e-12);
+        assert!((s.max_retrans_rate - 0.03).abs() < 1e-12);
+        assert!((s.mean_percent() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let s = TcpdumpStats::from_reports(std::iter::empty());
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.mean_retrans_rate, 0.0);
+    }
+}

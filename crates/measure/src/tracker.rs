@@ -1,0 +1,110 @@
+//! The 5G-Tracker counterpart: per-second context logging.
+//!
+//! §3.2: "To collect information on network type, vehicle speed, GPS
+//! location, and signal strength, we employ 5G Tracker … modified to
+//! enable its functionality under both Wi-Fi and cellular connectivity."
+//!
+//! [`Tracker`] joins a drive's environment samples with a network's link
+//! trace into rows matching that schema.
+
+use leo_geo::area::AreaType;
+use leo_geo::drive::EnvironmentSample;
+use leo_link::trace::LinkTrace;
+use serde::{Deserialize, Serialize};
+
+/// One logged row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrackerRow {
+    /// Campaign time, seconds.
+    pub t_s: u64,
+    pub lat_deg: f64,
+    pub lon_deg: f64,
+    pub speed_kmh: f64,
+    pub area: AreaType,
+    /// Network label (e.g. "MOB", "ATT").
+    pub network: String,
+    /// Instantaneous available capacity, Mbps (signal-strength proxy).
+    pub capacity_mbps: f64,
+    pub rtt_ms: f64,
+    pub loss: f64,
+}
+
+/// The context logger.
+#[derive(Debug, Clone, Default)]
+pub struct Tracker;
+
+impl Tracker {
+    /// Joins samples, areas, and a link trace into tracker rows.
+    ///
+    /// All three must cover the same seconds; the output length is the
+    /// shortest of the inputs.
+    pub fn log(
+        samples: &[EnvironmentSample],
+        areas: &[AreaType],
+        trace: &LinkTrace,
+    ) -> Vec<TrackerRow> {
+        samples
+            .iter()
+            .zip(areas)
+            .filter_map(|(s, &area)| {
+                trace.at(s.t_s).map(|c| TrackerRow {
+                    t_s: s.t_s,
+                    lat_deg: s.position.lat_deg,
+                    lon_deg: s.position.lon_deg,
+                    speed_kmh: s.speed_kmh,
+                    area,
+                    network: trace.label.clone(),
+                    capacity_mbps: c.capacity_mbps,
+                    rtt_ms: c.rtt_ms,
+                    loss: c.loss,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_geo::drive::{DayPhase, Weather};
+    use leo_geo::point::GeoPoint;
+    use leo_link::condition::LinkCondition;
+
+    fn samples(n: u64) -> Vec<EnvironmentSample> {
+        (0..n)
+            .map(|t| EnvironmentSample {
+                t_s: t,
+                position: GeoPoint::new(44.0, -93.0),
+                speed_kmh: 50.0,
+                heading_deg: 0.0,
+                day_phase: DayPhase::Day,
+                weather: Weather::Clear,
+                travelled_km: t as f64 * 0.014,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rows_join_on_time() {
+        let s = samples(10);
+        let areas = vec![AreaType::Suburban; 10];
+        let trace = LinkTrace::new("MOB", 0, vec![LinkCondition::new(100.0, 60.0, 0.01); 10]);
+        let rows = Tracker::log(&s, &areas, &trace);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[3].t_s, 3);
+        assert_eq!(rows[3].network, "MOB");
+        assert_eq!(rows[3].capacity_mbps, 100.0);
+        assert_eq!(rows[3].area, AreaType::Suburban);
+    }
+
+    #[test]
+    fn missing_trace_seconds_are_skipped() {
+        let s = samples(10);
+        let areas = vec![AreaType::Rural; 10];
+        // Trace only covers seconds 5..10.
+        let trace = LinkTrace::new("ATT", 5, vec![LinkCondition::new(50.0, 40.0, 0.0); 5]);
+        let rows = Tracker::log(&s, &areas, &trace);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].t_s, 5);
+    }
+}

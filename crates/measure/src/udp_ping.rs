@@ -1,0 +1,170 @@
+//! UDP-Ping: the paper's custom latency prober.
+//!
+//! §3.2: "we have developed an Android application that sends ping packets
+//! using UDP (UDP-Ping), as ICMP ping packets are often blocked by certain
+//! servers"; §4.1: "We allocate 1024 bytes to each UDP packet and
+//! calculate the round-trip time (RTT) for each acknowledged packet."
+//!
+//! One probe per second rides the link's conditions: its RTT is the
+//! condition's base RTT plus serialisation of the 1024-byte probe, and it
+//! is lost (unacknowledged) with the condition's loss probability in each
+//! direction.
+
+use leo_link::condition::LinkCondition;
+use leo_link::trace::LinkTrace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Probe payload size, bytes (the paper's choice).
+pub const PROBE_BYTES: f64 = 1024.0;
+
+/// Results of a UDP-Ping session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PingReport {
+    /// RTT of each acknowledged probe, ms.
+    pub rtts_ms: Vec<f64>,
+    pub probes_sent: u64,
+    pub probes_lost: u64,
+}
+
+impl PingReport {
+    /// Mean RTT, ms; `None` if every probe was lost.
+    pub fn mean_rtt_ms(&self) -> Option<f64> {
+        if self.rtts_ms.is_empty() {
+            None
+        } else {
+            Some(self.rtts_ms.iter().sum::<f64>() / self.rtts_ms.len() as f64)
+        }
+    }
+
+    /// Probe loss rate.
+    pub fn loss_rate(&self) -> f64 {
+        if self.probes_sent == 0 {
+            0.0
+        } else {
+            self.probes_lost as f64 / self.probes_sent as f64
+        }
+    }
+}
+
+/// The UDP-Ping tool.
+#[derive(Debug, Clone)]
+pub struct UdpPing {
+    pub seed: u64,
+    /// Probes per second.
+    pub rate_hz: u32,
+}
+
+impl Default for UdpPing {
+    fn default() -> Self {
+        Self {
+            seed: 0x9143,
+            rate_hz: 5,
+        }
+    }
+}
+
+impl UdpPing {
+    /// Pings across the downlink trace (conditions are assumed symmetric
+    /// enough for RTT purposes, as the probe is tiny in both directions).
+    pub fn run(&self, trace: &LinkTrace) -> PingReport {
+        self.run_conditions(trace.samples())
+    }
+
+    /// Pings across explicit per-second conditions.
+    pub fn run_conditions(&self, conditions: &[LinkCondition]) -> PingReport {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rtts = Vec::new();
+        let mut sent = 0;
+        let mut lost = 0;
+        for c in conditions {
+            for _ in 0..self.rate_hz {
+                sent += 1;
+                if c.is_outage() {
+                    lost += 1;
+                    continue;
+                }
+                // Lost on the way out or the way back.
+                let p_loss = 1.0 - (1.0 - c.loss) * (1.0 - c.loss);
+                if rng.gen_bool(p_loss.clamp(0.0, 1.0)) {
+                    lost += 1;
+                    continue;
+                }
+                // Serialisation of the probe both ways at link capacity.
+                let ser_ms = 2.0 * PROBE_BYTES * 8.0 / (c.capacity_mbps * 1e6) * 1e3;
+                rtts.push(c.rtt_ms + ser_ms);
+            }
+        }
+        PingReport {
+            rtts_ms: rtts,
+            probes_sent: sent,
+            probes_lost: lost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(n: usize, mbps: f64, rtt: f64, loss: f64) -> Vec<LinkCondition> {
+        vec![LinkCondition::new(mbps, rtt, loss); n]
+    }
+
+    #[test]
+    fn clean_link_rtt_matches_condition() {
+        let ping = UdpPing::default();
+        let rep = ping.run_conditions(&flat(10, 100.0, 60.0, 0.0));
+        assert_eq!(rep.probes_lost, 0);
+        let mean = rep.mean_rtt_ms().unwrap();
+        // 60 ms base + ~0.16 ms serialisation.
+        assert!((mean - 60.16).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn loss_rate_approximates_double_traversal() {
+        let ping = UdpPing {
+            seed: 3,
+            rate_hz: 100,
+        };
+        let rep = ping.run_conditions(&flat(100, 100.0, 60.0, 0.05));
+        // 1-(0.95)² ≈ 9.75 % probe loss.
+        assert!(
+            (rep.loss_rate() - 0.0975).abs() < 0.01,
+            "loss {}",
+            rep.loss_rate()
+        );
+    }
+
+    #[test]
+    fn outage_loses_everything() {
+        let ping = UdpPing::default();
+        let rep = ping.run_conditions(&[LinkCondition::OUTAGE; 5]);
+        assert_eq!(rep.probes_lost, rep.probes_sent);
+        assert!(rep.mean_rtt_ms().is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let conditions = flat(50, 80.0, 55.0, 0.02);
+        let a = UdpPing::default().run_conditions(&conditions);
+        let b = UdpPing::default().run_conditions(&conditions);
+        assert_eq!(a.rtts_ms, b.rtts_ms);
+        assert_eq!(a.probes_lost, b.probes_lost);
+    }
+
+    #[test]
+    fn slow_link_inflates_serialisation() {
+        let ping = UdpPing::default();
+        let fast = ping
+            .run_conditions(&flat(10, 200.0, 60.0, 0.0))
+            .mean_rtt_ms()
+            .unwrap();
+        let slow = ping
+            .run_conditions(&flat(10, 2.0, 60.0, 0.0))
+            .mean_rtt_ms()
+            .unwrap();
+        assert!(slow > fast + 5.0, "slow {slow} vs fast {fast}");
+    }
+}

@@ -1,0 +1,30 @@
+//! A deterministic discrete-event network emulator.
+//!
+//! This crate is the reproduction's substitute for **MpShell**, the
+//! Mahimahi variant the paper uses for its MPTCP experiments (§6). It
+//! provides:
+//!
+//! * [`SimTime`] — nanosecond simulated time,
+//! * [`Packet`] — a transport-agnostic packet with enough header fields
+//!   for TCP/MPTCP simulation,
+//! * [`Pipe`]s — unidirectional links: [`ConstPipe`] (rate / delay / loss /
+//!   drop-tail buffer) and [`TracePipe`] (Mahimahi packet-delivery-schedule
+//!   replay with optional per-second loss series),
+//! * [`Agent`]s — event-driven endpoints receiving packets and timers,
+//! * [`Simulator`] — the event loop wiring agents and pipes into a
+//!   topology.
+//!
+//! Everything is single-threaded and deterministic: events at equal times
+//! fire in schedule order, and all randomness flows from one seeded RNG.
+//! There is no wall-clock anywhere — simulations are pure functions of
+//! their inputs, in the spirit of smoltcp's "no surprises" philosophy.
+
+pub mod packet;
+pub mod pipe;
+pub mod sim;
+pub mod time;
+
+pub use packet::Packet;
+pub use pipe::{ConstPipe, JitterPipe, Pipe, PipeStats, TracePipe};
+pub use sim::{Agent, Context, LinkId, NodeId, Simulator};
+pub use time::SimTime;

@@ -1,0 +1,120 @@
+//! The simulated packet.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A transport-agnostic packet.
+///
+/// The header carries the fields every transport in `leo-transport` needs
+/// (sequence/ack numbers plus two auxiliary words for protocol-specific
+/// state such as MPTCP's data-level sequence numbers), so pipes never need
+/// to know which protocol they are carrying — mirroring how Mahimahi
+/// forwards opaque IP datagrams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique packet id (assigned by the sender).
+    pub id: u64,
+    /// Flow (connection) identifier.
+    pub flow: u32,
+    /// Wire size in bytes, headers included.
+    pub size_bytes: u32,
+    /// Transport sequence number (subflow-level for MPTCP).
+    pub seq: u64,
+    /// Cumulative acknowledgement number.
+    pub ack: u64,
+    /// True for pure ACKs (no payload).
+    pub is_ack: bool,
+    /// Auxiliary word A (e.g. MPTCP data sequence number).
+    pub aux_a: u64,
+    /// Auxiliary word B (e.g. MPTCP data ACK, or echoed timestamp).
+    pub aux_b: u64,
+    /// Auxiliary word C (e.g. SACK: the sequence that triggered an ACK).
+    pub aux_c: u64,
+    /// When the packet entered the network.
+    pub sent_at: SimTime,
+}
+
+/// Size of a pure ACK on the wire, bytes (IP + TCP headers).
+pub const ACK_SIZE_BYTES: u32 = 64;
+
+/// Default data-packet size: one MTU, matching Mahimahi's delivery slots.
+pub const DATA_SIZE_BYTES: u32 = 1500;
+
+impl Packet {
+    /// A data packet.
+    pub fn data(id: u64, flow: u32, seq: u64, sent_at: SimTime) -> Self {
+        Packet {
+            id,
+            flow,
+            size_bytes: DATA_SIZE_BYTES,
+            seq,
+            ack: 0,
+            is_ack: false,
+            aux_a: 0,
+            aux_b: 0,
+            aux_c: 0,
+            sent_at,
+        }
+    }
+
+    /// A pure ACK.
+    pub fn ack(id: u64, flow: u32, ack: u64, sent_at: SimTime) -> Self {
+        Packet {
+            id,
+            flow,
+            size_bytes: ACK_SIZE_BYTES,
+            seq: 0,
+            ack,
+            is_ack: true,
+            aux_a: 0,
+            aux_b: 0,
+            aux_c: 0,
+            sent_at,
+        }
+    }
+
+    /// Returns the packet with the auxiliary words set (builder-style).
+    pub fn with_aux(mut self, a: u64, b: u64) -> Self {
+        self.aux_a = a;
+        self.aux_b = b;
+        self
+    }
+
+    /// Returns the packet with auxiliary word C set (builder-style).
+    pub fn with_aux_c(mut self, c: u64) -> Self {
+        self.aux_c = c;
+        self
+    }
+
+    /// Returns the packet with an explicit size.
+    pub fn with_size(mut self, size_bytes: u32) -> Self {
+        self.size_bytes = size_bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let d = Packet::data(1, 7, 100, SimTime::from_millis(5));
+        assert!(!d.is_ack);
+        assert_eq!(d.size_bytes, DATA_SIZE_BYTES);
+        assert_eq!(d.seq, 100);
+
+        let a = Packet::ack(2, 7, 101, SimTime::ZERO);
+        assert!(a.is_ack);
+        assert_eq!(a.size_bytes, ACK_SIZE_BYTES);
+        assert_eq!(a.ack, 101);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let p = Packet::data(1, 1, 0, SimTime::ZERO)
+            .with_aux(11, 22)
+            .with_size(512);
+        assert_eq!((p.aux_a, p.aux_b, p.size_bytes), (11, 22, 512));
+    }
+}

@@ -1,0 +1,496 @@
+//! Unidirectional link models ("pipes").
+//!
+//! A pipe decides, at the moment a packet is offered, when (or whether)
+//! that packet will pop out the far end. Computing delivery times at offer
+//! time keeps the event loop simple — possible because both pipe models'
+//! service schedules are known in advance — while still modelling queueing
+//! (drop-tail on queued-but-undelivered packets) exactly.
+
+use crate::time::SimTime;
+use leo_link::mahimahi::MahimahiTrace;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Counters every pipe maintains — the emulator's `tcpdump` equivalent,
+/// used by `leo-measure` for Figure 5's retransmission accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipeStats {
+    pub offered_packets: u64,
+    pub offered_bytes: u64,
+    pub delivered_packets: u64,
+    pub delivered_bytes: u64,
+    pub dropped_random: u64,
+    pub dropped_queue: u64,
+}
+
+impl PipeStats {
+    /// Fraction of offered packets dropped (any cause).
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered_packets == 0 {
+            0.0
+        } else {
+            (self.dropped_random + self.dropped_queue) as f64 / self.offered_packets as f64
+        }
+    }
+}
+
+/// A unidirectional link.
+pub trait Pipe {
+    /// Offers a packet of `size_bytes` at `now`; returns its delivery time
+    /// at the far end, or `None` if the pipe drops it.
+    fn offer(&mut self, size_bytes: u32, now: SimTime, rng: &mut SmallRng) -> Option<SimTime>;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> PipeStats;
+
+    /// Bytes currently queued (offered, not yet delivered).
+    fn queued_bytes(&self, now: SimTime) -> u64;
+}
+
+/// Constant-rate pipe: serialisation at `rate`, propagation `delay`,
+/// i.i.d. random loss, and a drop-tail queue bounded in bytes.
+#[derive(Debug, Clone)]
+pub struct ConstPipe {
+    rate_bytes_per_s: f64,
+    delay: SimTime,
+    loss: f64,
+    queue_limit_bytes: u64,
+    /// When the transmitter becomes free.
+    busy_until: SimTime,
+    /// (delivery_time, size) of in-flight/queued packets, for queue
+    /// accounting; cleaned lazily.
+    in_flight: VecDeque<(SimTime, u32)>,
+    stats: PipeStats,
+}
+
+impl ConstPipe {
+    /// Creates a pipe. `rate_mbps` of zero means the pipe never delivers.
+    pub fn new(rate_mbps: f64, delay: SimTime, loss: f64, queue_limit_bytes: u64) -> Self {
+        Self {
+            rate_bytes_per_s: rate_mbps.max(0.0) * 1e6 / 8.0,
+            delay,
+            loss: loss.clamp(0.0, 1.0),
+            queue_limit_bytes,
+            busy_until: SimTime::ZERO,
+            in_flight: VecDeque::new(),
+            stats: PipeStats::default(),
+        }
+    }
+
+    fn gc(&mut self, now: SimTime) {
+        // A packet stops occupying the queue once its *transmission*
+        // completes; since delivery = tx_end + delay, compare against
+        // delivery − delay ≤ now ⟺ delivery ≤ now + delay.
+        let horizon = now + self.delay;
+        while let Some(&(t, _)) = self.in_flight.front() {
+            if t <= horizon {
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Pipe for ConstPipe {
+    fn offer(&mut self, size_bytes: u32, now: SimTime, rng: &mut SmallRng) -> Option<SimTime> {
+        self.stats.offered_packets += 1;
+        self.stats.offered_bytes += size_bytes as u64;
+        self.gc(now);
+
+        if self.rate_bytes_per_s <= 0.0 {
+            self.stats.dropped_queue += 1;
+            return None;
+        }
+        if self.loss > 0.0 && rng.gen_bool(self.loss) {
+            self.stats.dropped_random += 1;
+            return None;
+        }
+        let queued: u64 = self.queued_bytes(now);
+        if queued + size_bytes as u64 > self.queue_limit_bytes {
+            self.stats.dropped_queue += 1;
+            return None;
+        }
+
+        let tx_time = SimTime::from_secs_f64(size_bytes as f64 / self.rate_bytes_per_s);
+        let start = self.busy_until.max(now);
+        let tx_end = start + tx_time;
+        self.busy_until = tx_end;
+        let delivery = tx_end + self.delay;
+        self.in_flight.push_back((delivery, size_bytes));
+        self.stats.delivered_packets += 1;
+        self.stats.delivered_bytes += size_bytes as u64;
+        Some(delivery)
+    }
+
+    fn stats(&self) -> PipeStats {
+        self.stats
+    }
+
+    /// Bytes waiting behind the packet currently in service (the in-service
+    /// packet occupies the transmitter, not the queue).
+    fn queued_bytes(&self, now: SimTime) -> u64 {
+        let horizon = now + self.delay;
+        self.in_flight
+            .iter()
+            .filter(|&&(t, _)| t > horizon)
+            .skip(1) // the head packet is in service
+            .map(|&(_, s)| s as u64)
+            .sum()
+    }
+}
+
+/// Mahimahi trace-driven pipe: each delivery opportunity in the schedule
+/// releases one queued packet; the schedule wraps around at its period.
+/// Optionally applies a per-second loss series (index = simulated second),
+/// the mechanism used to replay Starlink's time-varying channel loss.
+#[derive(Debug, Clone)]
+pub struct TracePipe {
+    trace: MahimahiTrace,
+    delay: SimTime,
+    loss_series: Option<Vec<f64>>,
+    queue_limit_bytes: u64,
+    /// Index of the next unconsumed delivery opportunity.
+    opp_cursor: u64,
+    in_flight: VecDeque<(SimTime, u32)>,
+    stats: PipeStats,
+}
+
+impl TracePipe {
+    /// Creates a trace-driven pipe.
+    ///
+    /// # Panics
+    /// Panics if `trace` has no delivery opportunities (a dead link should
+    /// be expressed as a loss series of 1.0 or an all-zero capacity trace
+    /// handled by the caller).
+    pub fn new(trace: MahimahiTrace, delay: SimTime, queue_limit_bytes: u64) -> Self {
+        assert!(
+            !trace.is_empty(),
+            "TracePipe needs at least one delivery opportunity"
+        );
+        Self {
+            trace,
+            delay,
+            loss_series: None,
+            queue_limit_bytes,
+            opp_cursor: 0,
+            in_flight: VecDeque::new(),
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// Attaches a per-second loss-probability series; second `i` of
+    /// simulation uses `series[i]` (clamped to the last entry thereafter).
+    pub fn with_loss_series(mut self, series: Vec<f64>) -> Self {
+        self.loss_series = if series.is_empty() {
+            None
+        } else {
+            Some(series)
+        };
+        self
+    }
+
+    fn loss_at(&self, now: SimTime) -> f64 {
+        match &self.loss_series {
+            None => 0.0,
+            Some(s) => {
+                let idx = (now.as_nanos() / 1_000_000_000) as usize;
+                s[idx.min(s.len() - 1)].clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    fn gc(&mut self, now: SimTime) {
+        let horizon = now + self.delay;
+        while let Some(&(t, _)) = self.in_flight.front() {
+            if t <= horizon {
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Pipe for TracePipe {
+    fn offer(&mut self, size_bytes: u32, now: SimTime, rng: &mut SmallRng) -> Option<SimTime> {
+        self.stats.offered_packets += 1;
+        self.stats.offered_bytes += size_bytes as u64;
+        self.gc(now);
+
+        let loss = self.loss_at(now);
+        if loss > 0.0 && rng.gen_bool(loss) {
+            self.stats.dropped_random += 1;
+            return None;
+        }
+        if self.queued_bytes(now) + size_bytes as u64 > self.queue_limit_bytes {
+            self.stats.dropped_queue += 1;
+            return None;
+        }
+
+        // Consume the next delivery opportunity at or after `now` (and
+        // after every already-assigned opportunity, preserving FIFO order).
+        let at_or_after = self.trace.next_opportunity_at_or_after(now.as_millis());
+        self.opp_cursor = self.opp_cursor.max(at_or_after);
+        let delivery_ms = self.trace.delivery_time_ms(self.opp_cursor);
+        self.opp_cursor += 1;
+
+        let delivery = SimTime::from_millis(delivery_ms) + self.delay;
+        self.in_flight.push_back((delivery, size_bytes));
+        self.stats.delivered_packets += 1;
+        self.stats.delivered_bytes += size_bytes as u64;
+        Some(delivery)
+    }
+
+    fn stats(&self) -> PipeStats {
+        self.stats
+    }
+
+    fn queued_bytes(&self, now: SimTime) -> u64 {
+        let horizon = now + self.delay;
+        self.in_flight
+            .iter()
+            .filter(|&&(t, _)| t > horizon)
+            .map(|&(_, s)| s as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn const_pipe_serialises_back_to_back() {
+        // 12 Mbps, 1500-B packets → 1 ms per packet.
+        let mut p = ConstPipe::new(12.0, SimTime::from_millis(10), 0.0, 1 << 20);
+        let mut r = rng();
+        let d1 = p.offer(1500, SimTime::ZERO, &mut r).unwrap();
+        let d2 = p.offer(1500, SimTime::ZERO, &mut r).unwrap();
+        assert_eq!(d1.as_millis(), 11); // 1 ms tx + 10 ms prop
+        assert_eq!(d2.as_millis(), 12); // queued behind the first
+    }
+
+    #[test]
+    fn const_pipe_idle_restart() {
+        let mut p = ConstPipe::new(12.0, SimTime::ZERO, 0.0, 1 << 20);
+        let mut r = rng();
+        let _ = p.offer(1500, SimTime::ZERO, &mut r).unwrap();
+        // After a long idle gap, service starts at `now`, not at busy_until.
+        let d = p.offer(1500, SimTime::from_secs(5), &mut r).unwrap();
+        assert_eq!(d.as_millis(), 5001);
+    }
+
+    #[test]
+    fn const_pipe_drop_tail() {
+        // Queue limit of 3000 bytes = 2 packets of 1500.
+        let mut p = ConstPipe::new(1.0, SimTime::ZERO, 0.0, 3000);
+        let mut r = rng();
+        // 1 Mbps → 12 ms per 1500-B packet; flood at t=0.
+        let a = p.offer(1500, SimTime::ZERO, &mut r);
+        let b = p.offer(1500, SimTime::ZERO, &mut r);
+        let c = p.offer(1500, SimTime::ZERO, &mut r);
+        let d = p.offer(1500, SimTime::ZERO, &mut r);
+        assert!(a.is_some() && b.is_some());
+        // The first packet is in service (not queued), so the third fits…
+        assert!(c.is_some());
+        // …but the fourth exceeds the two-packet queue.
+        assert!(d.is_none());
+        assert_eq!(p.stats().dropped_queue, 1);
+    }
+
+    #[test]
+    fn const_pipe_random_loss_rate() {
+        let mut p = ConstPipe::new(1000.0, SimTime::ZERO, 0.25, u64::MAX);
+        let mut r = rng();
+        let n = 20_000;
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            let _ = p.offer(1500, t, &mut r);
+            t += SimTime::from_micros(50);
+        }
+        let rate = p.stats().dropped_random as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_pipe_drops_everything() {
+        let mut p = ConstPipe::new(0.0, SimTime::ZERO, 0.0, 1 << 20);
+        assert!(p.offer(100, SimTime::ZERO, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn trace_pipe_follows_schedule() {
+        let trace = MahimahiTrace::from_deliveries(vec![5, 10, 15]);
+        let mut p = TracePipe::new(trace, SimTime::ZERO, 1 << 20);
+        let mut r = rng();
+        let d1 = p.offer(1500, SimTime::ZERO, &mut r).unwrap();
+        let d2 = p.offer(1500, SimTime::ZERO, &mut r).unwrap();
+        assert_eq!(d1.as_millis(), 5);
+        assert_eq!(d2.as_millis(), 10);
+        // Next offer after the schedule's end wraps to the next period.
+        let d3 = p.offer(1500, SimTime::from_millis(16), &mut r).unwrap();
+        assert_eq!(d3.as_millis(), 16 + 5); // period 16, next op at 16+5
+    }
+
+    #[test]
+    fn trace_pipe_fifo_order_preserved() {
+        let trace = MahimahiTrace::from_deliveries(vec![1, 2, 3, 4, 50]);
+        let mut p = TracePipe::new(trace, SimTime::ZERO, 1 << 20);
+        let mut r = rng();
+        let mut last = SimTime::ZERO;
+        for _ in 0..8 {
+            let d = p.offer(1500, SimTime::ZERO, &mut r).unwrap();
+            assert!(d >= last, "FIFO violated");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn trace_pipe_delay_added() {
+        let trace = MahimahiTrace::from_deliveries(vec![5]);
+        let mut p = TracePipe::new(trace, SimTime::from_millis(20), 1 << 20);
+        let d = p.offer(1500, SimTime::ZERO, &mut rng()).unwrap();
+        assert_eq!(d.as_millis(), 25);
+    }
+
+    #[test]
+    fn trace_pipe_loss_series_switches_per_second() {
+        let trace = MahimahiTrace::from_capacity_series(&[100.0; 10]);
+        let mut p = TracePipe::new(trace, SimTime::ZERO, u64::MAX).with_loss_series(vec![0.0, 1.0]);
+        let mut r = rng();
+        // Second 0: lossless.
+        assert!(p.offer(1500, SimTime::from_millis(100), &mut r).is_some());
+        // Second 1 (and clamped beyond): certain loss.
+        assert!(p.offer(1500, SimTime::from_millis(1500), &mut r).is_none());
+        assert!(p.offer(1500, SimTime::from_secs(7), &mut r).is_none());
+    }
+
+    #[test]
+    fn trace_pipe_rate_matches_trace() {
+        // Saturate a 24 Mbps trace pipe for 5 s: delivered ≈ 24 Mbit/s.
+        let trace = MahimahiTrace::from_capacity_series(&[24.0; 5]);
+        let mut p = TracePipe::new(trace, SimTime::ZERO, 60_000);
+        let mut r = rng();
+        let mut delivered = 0u64;
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(5) {
+            if let Some(d) = p.offer(1500, t, &mut r) {
+                if d < SimTime::from_secs(5) {
+                    delivered += 1500 * 8;
+                }
+            }
+            t += SimTime::from_micros(300); // offered ~40 Mbps
+        }
+        let mbps = delivered as f64 / 5e6;
+        assert!((mbps - 24.0).abs() < 1.5, "delivered {mbps} Mbps");
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery opportunity")]
+    fn empty_trace_pipe_panics() {
+        let empty = MahimahiTrace::from_capacity_series(&[0.0]);
+        let _ = TracePipe::new(empty, SimTime::ZERO, 1 << 20);
+    }
+
+    #[test]
+    fn stats_account_for_everything() {
+        let mut p = ConstPipe::new(12.0, SimTime::ZERO, 0.5, 4500);
+        let mut r = rng();
+        for i in 0..1000 {
+            let _ = p.offer(1500, SimTime::from_millis(i), &mut r);
+        }
+        let s = p.stats();
+        assert_eq!(
+            s.offered_packets,
+            s.delivered_packets + s.dropped_random + s.dropped_queue
+        );
+        assert!(s.drop_rate() > 0.4);
+    }
+}
+
+/// A fault-injection wrapper in the smoltcp examples' spirit: adds random
+/// per-packet jitter (which reorders at the receiver) on top of an inner
+/// pipe. Useful for exercising transport resequencing logic under
+/// conditions neither base pipe produces.
+#[derive(Debug)]
+pub struct JitterPipe<P: Pipe> {
+    inner: P,
+    max_jitter: SimTime,
+}
+
+impl<P: Pipe> JitterPipe<P> {
+    /// Wraps `inner`, adding uniform jitter in `[0, max_jitter]` to every
+    /// delivery.
+    pub fn new(inner: P, max_jitter: SimTime) -> Self {
+        Self { inner, max_jitter }
+    }
+}
+
+impl<P: Pipe> Pipe for JitterPipe<P> {
+    fn offer(&mut self, size_bytes: u32, now: SimTime, rng: &mut SmallRng) -> Option<SimTime> {
+        let base = self.inner.offer(size_bytes, now, rng)?;
+        let j = rng.gen_range(0..=self.max_jitter.as_nanos());
+        Some(base + SimTime::from_nanos(j))
+    }
+
+    fn stats(&self) -> PipeStats {
+        self.inner.stats()
+    }
+
+    fn queued_bytes(&self, now: SimTime) -> u64 {
+        self.inner.queued_bytes(now)
+    }
+}
+
+#[cfg(test)]
+mod jitter_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn jitter_never_reduces_delay_and_can_reorder() {
+        let inner = ConstPipe::new(1000.0, SimTime::from_millis(10), 0.0, u64::MAX);
+        let mut plain = ConstPipe::new(1000.0, SimTime::from_millis(10), 0.0, u64::MAX);
+        let mut jittery = JitterPipe::new(inner, SimTime::from_millis(8));
+        let mut r1 = SmallRng::seed_from_u64(4);
+        let mut r2 = SmallRng::seed_from_u64(4);
+        let mut reordered = false;
+        let mut last = SimTime::ZERO;
+        for i in 0..200u64 {
+            let t = SimTime::from_micros(i * 50);
+            let base = plain.offer(1500, t, &mut r1).unwrap();
+            let jit = jittery.offer(1500, t, &mut r2).unwrap();
+            assert!(jit >= base, "jitter made a packet early");
+            if jit < last {
+                reordered = true;
+            }
+            last = jit;
+        }
+        assert!(reordered, "8 ms jitter over 50 µs spacing must reorder");
+    }
+
+    #[test]
+    fn zero_jitter_is_transparent() {
+        let inner = ConstPipe::new(50.0, SimTime::from_millis(5), 0.0, u64::MAX);
+        let mut plain = ConstPipe::new(50.0, SimTime::from_millis(5), 0.0, u64::MAX);
+        let mut wrapped = JitterPipe::new(inner, SimTime::ZERO);
+        let mut r1 = SmallRng::seed_from_u64(9);
+        let mut r2 = SmallRng::seed_from_u64(9);
+        for i in 0..50u64 {
+            let t = SimTime::from_millis(i);
+            assert_eq!(
+                wrapped.offer(1500, t, &mut r2),
+                plain.offer(1500, t, &mut r1)
+            );
+        }
+        assert_eq!(wrapped.stats().offered_packets, 50);
+    }
+}

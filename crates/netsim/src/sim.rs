@@ -1,0 +1,515 @@
+//! The event loop: agents, links, timers.
+
+use crate::packet::Packet;
+use crate::pipe::{Pipe, PipeStats};
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies a node (agent) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// An event-driven endpoint.
+///
+/// Agents never see the simulator directly; they receive a [`Context`]
+/// through which they emit packets and arm timers. This keeps agents
+/// deterministic and unit-testable in isolation.
+pub trait Agent: std::any::Any {
+    /// A packet arrived over `link`.
+    fn on_packet(&mut self, ctx: &mut Context, link: LinkId, packet: Packet);
+
+    /// A timer armed via [`Context::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Context, timer_id: u64);
+
+    /// Upcast for inspection; implement as `self`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast for inspection; implement as `self`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The agent's handle to the simulation during a callback.
+pub struct Context<'a> {
+    now: SimTime,
+    node: NodeId,
+    actions: Vec<Action>,
+    rng: &'a mut SmallRng,
+}
+
+enum Action {
+    Send { link: LinkId, packet: Packet },
+    Timer { node: NodeId, at: SimTime, id: u64 },
+}
+
+impl<'a> Context<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this callback belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `packet` into `link` (stamping `sent_at` with now).
+    pub fn send(&mut self, link: LinkId, mut packet: Packet) {
+        packet.sent_at = self.now;
+        self.actions.push(Action::Send { link, packet });
+    }
+
+    /// Arms a timer that fires on this node after `delay`.
+    ///
+    /// Timers cannot be cancelled; agents should carry an epoch in
+    /// `timer_id` and ignore stale firings (the classic lazy-cancel
+    /// pattern).
+    pub fn set_timer(&mut self, delay: SimTime, timer_id: u64) {
+        self.actions.push(Action::Timer {
+            node: self.node,
+            at: self.now + delay,
+            id: timer_id,
+        });
+    }
+
+    /// Deterministic randomness for the agent.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival {
+        node: NodeId,
+        link: LinkId,
+        packet: Packet,
+    },
+    Timer {
+        node: NodeId,
+        id: u64,
+    },
+}
+
+struct ScheduledEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties broken by insertion order for determinism.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Link {
+    pipe: Box<dyn Pipe>,
+    dst: NodeId,
+}
+
+/// The discrete-event simulator.
+///
+/// Build a topology with [`add_node`](Self::add_node) and
+/// [`add_link`](Self::add_link), kick it off by invoking an agent through
+/// [`with_agent`](Self::with_agent) (e.g. telling a sender to start), then
+/// [`run_until`](Self::run_until).
+pub struct Simulator {
+    now: SimTime,
+    events: BinaryHeap<Reverse<ScheduledEvent>>,
+    event_seq: u64,
+    nodes: Vec<Option<Box<dyn Agent>>>,
+    links: Vec<Link>,
+    rng: SmallRng,
+}
+
+impl Simulator {
+    /// Creates an empty simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            now: SimTime::ZERO,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Adds an agent, returning its id.
+    pub fn add_node(&mut self, agent: Box<dyn Agent>) -> NodeId {
+        self.nodes.push(Some(agent));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a unidirectional link delivering into `dst`.
+    pub fn add_link(&mut self, pipe: Box<dyn Pipe>, dst: NodeId) -> LinkId {
+        assert!(dst.0 < self.nodes.len(), "unknown destination node");
+        self.links.push(Link { pipe, dst });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Statistics of a link's pipe.
+    pub fn link_stats(&self, link: LinkId) -> PipeStats {
+        self.links[link.0].pipe.stats()
+    }
+
+    /// Runs `f` against an agent with a live [`Context`] — used to start
+    /// flows or inject external stimuli. Downcasting to the concrete agent
+    /// type is the caller's business.
+    pub fn with_agent<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Agent, &mut Context) -> R,
+    ) -> R {
+        let mut agent = self.nodes[node.0].take().expect("agent is present");
+        let mut ctx = Context {
+            now: self.now,
+            node,
+            actions: Vec::new(),
+            rng: &mut self.rng,
+        };
+        let out = f(agent.as_mut(), &mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        self.nodes[node.0] = Some(agent);
+        self.apply(actions);
+        out
+    }
+
+    /// Retrieves an agent for inspection after (or during) a run.
+    ///
+    /// # Panics
+    /// Panics if the node id is invalid.
+    pub fn agent(&self, node: NodeId) -> &dyn Agent {
+        self.nodes[node.0]
+            .as_deref()
+            .expect("agent is present outside of callbacks")
+    }
+
+    /// Downcasts an agent to its concrete type for result extraction.
+    ///
+    /// # Panics
+    /// Panics if the node id is invalid or the type does not match.
+    pub fn agent_as<T: Agent>(&self, node: NodeId) -> &T {
+        self.agent(node)
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("agent has the requested concrete type")
+    }
+
+    fn apply(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { link, packet } => {
+                    let l = &mut self.links[link.0];
+                    if let Some(at) = l.pipe.offer(packet.size_bytes, self.now, &mut self.rng) {
+                        let kind = EventKind::Arrival {
+                            node: l.dst,
+                            link,
+                            packet,
+                        };
+                        self.push_event(at, kind);
+                    }
+                }
+                Action::Timer { node, at, id } => {
+                    self.push_event(at, EventKind::Timer { node, id });
+                }
+            }
+        }
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        self.event_seq += 1;
+        self.events.push(Reverse(ScheduledEvent {
+            at,
+            seq: self.event_seq,
+            kind,
+        }));
+    }
+
+    /// Processes one event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        type Delivery = Box<dyn FnOnce(&mut dyn Agent, &mut Context)>;
+        let Some(Reverse(ev)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        let (node, deliver): (NodeId, Delivery) = match ev.kind {
+            EventKind::Arrival { node, link, packet } => {
+                (node, Box::new(move |a, ctx| a.on_packet(ctx, link, packet)))
+            }
+            EventKind::Timer { node, id } => (node, Box::new(move |a, ctx| a.on_timer(ctx, id))),
+        };
+        let mut agent = self.nodes[node.0].take().expect("agent is present");
+        let mut ctx = Context {
+            now: self.now,
+            node,
+            actions: Vec::new(),
+            rng: &mut self.rng,
+        };
+        deliver(agent.as_mut(), &mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        self.nodes[node.0] = Some(agent);
+        self.apply(actions);
+        true
+    }
+
+    /// Runs until the event queue drains or simulated time reaches
+    /// `deadline`, whichever comes first. Returns the number of events
+    /// processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.now = self.now.max(deadline);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipe::ConstPipe;
+
+    /// Counts arrivals; replies with an ACK per data packet when wired.
+    struct Counter {
+        received: Vec<(SimTime, Packet)>,
+        reply_link: Option<LinkId>,
+    }
+
+    impl Agent for Counter {
+        fn on_packet(&mut self, ctx: &mut Context, _link: LinkId, packet: Packet) {
+            self.received.push((ctx.now(), packet));
+            if let Some(l) = self.reply_link {
+                if !packet.is_ack {
+                    ctx.send(
+                        l,
+                        Packet::ack(packet.id, packet.flow, packet.seq + 1, ctx.now()),
+                    );
+                }
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context, _timer_id: u64) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Sends `n` packets on a timer tick, records ACK arrivals.
+    struct Ticker {
+        out: LinkId,
+        remaining: u32,
+        next_id: u64,
+        acks: Vec<SimTime>,
+    }
+
+    impl Agent for Ticker {
+        fn on_packet(&mut self, ctx: &mut Context, _link: LinkId, packet: Packet) {
+            if packet.is_ack {
+                self.acks.push(ctx.now());
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context, _timer_id: u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let id = self.next_id;
+                self.next_id += 1;
+                ctx.send(self.out, Packet::data(id, 1, id, ctx.now()));
+                ctx.set_timer(SimTime::from_millis(10), 0);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip_time() {
+        let mut sim = Simulator::new(7);
+        // Build: ticker --l1--> counter --l2--> ticker.
+        let ticker = sim.add_node(Box::new(Ticker {
+            out: LinkId(0),
+            remaining: 3,
+            next_id: 0,
+            acks: Vec::new(),
+        }));
+        let counter = sim.add_node(Box::new(Counter {
+            received: Vec::new(),
+            reply_link: Some(LinkId(1)),
+        }));
+        let l1 = sim.add_link(
+            Box::new(ConstPipe::new(
+                100.0,
+                SimTime::from_millis(20),
+                0.0,
+                1 << 20,
+            )),
+            counter,
+        );
+        assert_eq!(l1, LinkId(0));
+        let l2 = sim.add_link(
+            Box::new(ConstPipe::new(
+                100.0,
+                SimTime::from_millis(20),
+                0.0,
+                1 << 20,
+            )),
+            ticker,
+        );
+        assert_eq!(l2, LinkId(1));
+
+        sim.with_agent(ticker, |a, ctx| a.on_timer(ctx, 0));
+        sim.run_until(SimTime::from_secs(2));
+
+        let t = sim.agent_as::<Ticker>(ticker);
+        assert_eq!(t.acks.len(), 3, "every data packet should be ACKed");
+        // RTT ≈ 2 × 20 ms prop + 2 serialisation times; first ACK lands
+        // a bit after 40 ms.
+        assert!(t.acks[0] >= SimTime::from_millis(40));
+        assert!(t.acks[0] < SimTime::from_millis(45));
+        assert_eq!(sim.link_stats(l1).delivered_packets, 3);
+        assert_eq!(sim.link_stats(l2).delivered_packets, 3);
+    }
+
+    #[test]
+    fn packets_arrive_in_send_order_at_equal_times() {
+        let mut sim = Simulator::new(1);
+        let counter = sim.add_node(Box::new(Counter {
+            received: Vec::new(),
+            reply_link: None,
+        }));
+        let src = sim.add_node(Box::new(Ticker {
+            out: LinkId(0),
+            remaining: 0,
+            next_id: 0,
+            acks: Vec::new(),
+        }));
+        let l = sim.add_link(
+            Box::new(ConstPipe::new(1e6, SimTime::ZERO, 0.0, 1 << 30)),
+            counter,
+        );
+        sim.with_agent(src, |_, ctx| {
+            ctx.send(l, Packet::data(1, 1, 1, ctx.now()));
+            ctx.send(l, Packet::data(2, 1, 2, ctx.now()));
+        });
+        sim.run_until(SimTime::from_secs(1));
+        let c = sim.agent_as::<Counter>(counter);
+        let ids: Vec<u64> = c.received.iter().map(|(_, p)| p.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulator::new(1);
+        let sink = sim.add_node(Box::new(Counter {
+            received: Vec::new(),
+            reply_link: None,
+        }));
+        let src = sim.add_node(Box::new(Ticker {
+            out: LinkId(0),
+            remaining: 1000,
+            next_id: 0,
+            acks: Vec::new(),
+        }));
+        let _ = sim.add_link(
+            Box::new(ConstPipe::new(100.0, SimTime::ZERO, 0.0, 1 << 30)),
+            sink,
+        );
+        sim.with_agent(src, |a, ctx| a.on_timer(ctx, 0));
+        // 10 ms tick → about 10 packets in 100 ms.
+        sim.run_until(SimTime::from_millis(100));
+        let sent = sim.link_stats(LinkId(0)).offered_packets;
+        assert!((9..=11).contains(&sent), "sent {sent}");
+        assert_eq!(sim.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_fifo_ties() {
+        struct Recorder {
+            fired: Vec<u64>,
+        }
+        impl Agent for Recorder {
+            fn on_packet(&mut self, _: &mut Context, _: LinkId, _: Packet) {}
+            fn on_timer(&mut self, _: &mut Context, id: u64) {
+                self.fired.push(id);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let node = sim.add_node(Box::new(Recorder { fired: Vec::new() }));
+        sim.with_agent(node, |_, ctx| {
+            ctx.set_timer(SimTime::from_millis(30), 3);
+            ctx.set_timer(SimTime::from_millis(10), 1);
+            ctx.set_timer(SimTime::from_millis(20), 2);
+            ctx.set_timer(SimTime::from_millis(10), 11); // tie with id 1
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.agent_as::<Recorder>(node).fired, vec![1, 11, 2, 3]);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let sink = sim.add_node(Box::new(Counter {
+                received: Vec::new(),
+                reply_link: None,
+            }));
+            let src = sim.add_node(Box::new(Ticker {
+                out: LinkId(0),
+                remaining: 200,
+                next_id: 0,
+                acks: Vec::new(),
+            }));
+            let _ = sim.add_link(
+                Box::new(ConstPipe::new(10.0, SimTime::from_millis(5), 0.3, 1 << 20)),
+                sink,
+            );
+            sim.with_agent(src, |a, ctx| a.on_timer(ctx, 0));
+            sim.run_until(SimTime::from_secs(10));
+            sim.link_stats(LinkId(0)).delivered_packets
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6)); // loss realisation differs
+    }
+}

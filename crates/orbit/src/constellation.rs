@@ -1,0 +1,342 @@
+//! Walker-delta constellations on circular orbits.
+//!
+//! Starlink's first (and in 2023, dominant) shell is a Walker-delta
+//! constellation: 72 orbital planes at 53° inclination and ~550 km altitude,
+//! 22 satellites per plane. Circular-orbit propagation with Earth rotation
+//! is accurate to well under a degree of ground geometry over the minutes-
+//! to-hours horizons this study simulates, which is ample for elevation,
+//! visibility, and latency modelling.
+
+use leo_geo::point::{Ecef, EARTH_RADIUS_KM};
+use serde::{Deserialize, Serialize};
+
+/// Standard gravitational parameter of Earth, km³/s².
+pub const MU_EARTH: f64 = 398_600.441_8;
+
+/// Sidereal day length in seconds (Earth rotation period).
+pub const SIDEREAL_DAY_S: f64 = 86_164.090_5;
+
+/// One shell of a Walker-delta constellation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shell {
+    /// Orbit altitude above the spherical Earth, km.
+    pub altitude_km: f64,
+    /// Inclination, degrees.
+    pub inclination_deg: f64,
+    /// Number of equally spaced orbital planes.
+    pub planes: u32,
+    /// Satellites per plane, equally spaced.
+    pub sats_per_plane: u32,
+    /// Walker phasing factor `F`: the along-track phase offset between
+    /// adjacent planes is `F × 360° / (planes × sats_per_plane)`.
+    pub phase_factor: u32,
+}
+
+impl Shell {
+    /// Starlink shell 1: the 550 km / 53° shell.
+    pub fn starlink_shell1() -> Self {
+        Shell {
+            altitude_km: 550.0,
+            inclination_deg: 53.0,
+            planes: 72,
+            sats_per_plane: 22,
+            phase_factor: 39,
+        }
+    }
+
+    /// Starlink shell 2: 540 km / 53.2°.
+    pub fn starlink_shell2() -> Self {
+        Shell {
+            altitude_km: 540.0,
+            inclination_deg: 53.2,
+            planes: 72,
+            sats_per_plane: 22,
+            phase_factor: 39,
+        }
+    }
+
+    /// Starlink shell 3: 570 km / 70° (higher-latitude coverage).
+    pub fn starlink_shell3() -> Self {
+        Shell {
+            altitude_km: 570.0,
+            inclination_deg: 70.0,
+            planes: 36,
+            sats_per_plane: 20,
+            phase_factor: 11,
+        }
+    }
+
+    /// Starlink shell 4: 560 km / 97.6° (near-polar).
+    pub fn starlink_shell4() -> Self {
+        Shell {
+            altitude_km: 560.0,
+            inclination_deg: 97.6,
+            planes: 6,
+            sats_per_plane: 58,
+            phase_factor: 1,
+        }
+    }
+
+    /// Orbital radius from the Earth's centre, km.
+    pub fn orbit_radius_km(&self) -> f64 {
+        EARTH_RADIUS_KM + self.altitude_km
+    }
+
+    /// Orbital period, seconds (Kepler's third law, circular orbit).
+    pub fn period_s(&self) -> f64 {
+        let r = self.orbit_radius_km();
+        2.0 * std::f64::consts::PI * (r * r * r / MU_EARTH).sqrt()
+    }
+
+    /// Orbital speed, km/s.
+    pub fn orbital_speed_km_s(&self) -> f64 {
+        (MU_EARTH / self.orbit_radius_km()).sqrt()
+    }
+
+    /// Total satellites in the shell.
+    pub fn total_sats(&self) -> u32 {
+        self.planes * self.sats_per_plane
+    }
+}
+
+/// One satellite: its shell and its slot within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Satellite {
+    /// Shell index within the constellation.
+    pub shell: u16,
+    /// Orbital plane index, `0..planes`.
+    pub plane: u16,
+    /// Slot within the plane, `0..sats_per_plane`.
+    pub slot: u16,
+}
+
+/// A multi-shell constellation with position propagation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Constellation {
+    shells: Vec<Shell>,
+}
+
+impl Constellation {
+    /// Builds a constellation from shells.
+    pub fn new(shells: Vec<Shell>) -> Self {
+        Self { shells }
+    }
+
+    /// The Starlink-like default: shell 1 only (the shell that carried
+    /// essentially all 2023 service over the campaign's latitudes).
+    pub fn starlink() -> Self {
+        Self::new(vec![Shell::starlink_shell1()])
+    }
+
+    /// The full first-generation Starlink constellation: shells 1–4.
+    pub fn starlink_full() -> Self {
+        Self::new(vec![
+            Shell::starlink_shell1(),
+            Shell::starlink_shell2(),
+            Shell::starlink_shell3(),
+            Shell::starlink_shell4(),
+        ])
+    }
+
+    /// The shells.
+    pub fn shells(&self) -> &[Shell] {
+        &self.shells
+    }
+
+    /// Total satellite count across shells.
+    pub fn total_sats(&self) -> u32 {
+        self.shells.iter().map(|s| s.total_sats()).sum()
+    }
+
+    /// Iterates over every satellite identifier.
+    pub fn satellites(&self) -> impl Iterator<Item = Satellite> + '_ {
+        self.shells.iter().enumerate().flat_map(|(si, sh)| {
+            (0..sh.planes).flat_map(move |p| {
+                (0..sh.sats_per_plane).map(move |k| Satellite {
+                    shell: si as u16,
+                    plane: p as u16,
+                    slot: k as u16,
+                })
+            })
+        })
+    }
+
+    /// ECEF position of `sat` at time `t_s` seconds after epoch.
+    ///
+    /// The orbit is propagated in an inertial frame and then rotated by the
+    /// Earth's sidereal rotation to get Earth-fixed coordinates.
+    pub fn position_ecef(&self, sat: Satellite, t_s: f64) -> Ecef {
+        let shell = &self.shells[sat.shell as usize];
+        let r = shell.orbit_radius_km();
+        let inc = shell.inclination_deg.to_radians();
+        let n_total = shell.total_sats() as f64;
+
+        // Right ascension of the ascending node for this plane.
+        let raan = 2.0 * std::f64::consts::PI * sat.plane as f64 / shell.planes as f64;
+        // Along-track phase: slot spacing plus Walker inter-plane phasing.
+        let mean_anomaly0 = 2.0
+            * std::f64::consts::PI
+            * (sat.slot as f64 / shell.sats_per_plane as f64
+                + shell.phase_factor as f64 * sat.plane as f64 / n_total);
+        let mean_motion = 2.0 * std::f64::consts::PI / shell.period_s();
+        let u = mean_anomaly0 + mean_motion * t_s; // argument of latitude
+
+        // Position in the orbital plane → inertial frame.
+        let (sin_u, cos_u) = u.sin_cos();
+        let (sin_i, cos_i) = inc.sin_cos();
+        let (sin_o, cos_o) = raan.sin_cos();
+        let x_i = r * (cos_o * cos_u - sin_o * sin_u * cos_i);
+        let y_i = r * (sin_o * cos_u + cos_o * sin_u * cos_i);
+        let z_i = r * (sin_u * sin_i);
+
+        // Inertial → Earth-fixed: rotate by -θ where θ = ω_earth × t.
+        let theta = 2.0 * std::f64::consts::PI * t_s / SIDEREAL_DAY_S;
+        let (sin_t, cos_t) = theta.sin_cos();
+        Ecef {
+            x_km: cos_t * x_i + sin_t * y_i,
+            y_km: -sin_t * x_i + cos_t * y_i,
+            z_km: z_i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shell1_dimensions() {
+        let s = Shell::starlink_shell1();
+        assert_eq!(s.total_sats(), 1584);
+        // ~95.6 minutes at 550 km.
+        let period_min = s.period_s() / 60.0;
+        assert!(
+            (95.0..97.0).contains(&period_min),
+            "period {period_min} min"
+        );
+    }
+
+    #[test]
+    fn orbital_speed_matches_paper_figure() {
+        // §4.2: "Starlink's operation in low earth orbit at an approximate
+        // speed of 28,000 km/h".
+        let s = Shell::starlink_shell1();
+        let kmh = s.orbital_speed_km_s() * 3600.0;
+        assert!(
+            (26_000.0..28_500.0).contains(&kmh),
+            "orbital speed {kmh} km/h"
+        );
+    }
+
+    #[test]
+    fn positions_stay_on_orbit_sphere() {
+        let c = Constellation::starlink();
+        let r = Shell::starlink_shell1().orbit_radius_km();
+        for (i, sat) in c.satellites().enumerate().step_by(97) {
+            let p = c.position_ecef(sat, i as f64 * 13.7);
+            assert!((p.norm_km() - r).abs() < 1e-6, "sat {i} off-sphere");
+        }
+    }
+
+    #[test]
+    fn latitude_bounded_by_inclination() {
+        let c = Constellation::starlink();
+        for sat in c.satellites().step_by(53) {
+            for t in [0.0, 600.0, 3200.0] {
+                let (geo, _) = c.position_ecef(sat, t).to_geo();
+                assert!(
+                    geo.lat_deg.abs() <= 53.0 + 1e-6,
+                    "lat {} exceeds inclination",
+                    geo.lat_deg
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn period_returns_to_inertial_position() {
+        // After one orbital period, the satellite returns to the same
+        // inertial position; in ECEF it is offset by Earth rotation, so
+        // compare via the inertial frame: propagating by exactly one period
+        // changes ECEF position only through the Earth-rotation angle.
+        let c = Constellation::starlink();
+        let sat = Satellite {
+            shell: 0,
+            plane: 0,
+            slot: 0,
+        };
+        let period = Shell::starlink_shell1().period_s();
+        let p0 = c.position_ecef(sat, 0.0);
+        let p1 = c.position_ecef(sat, period);
+        // Undo earth rotation on p1.
+        let theta = 2.0 * std::f64::consts::PI * period / SIDEREAL_DAY_S;
+        let (s, co) = theta.sin_cos();
+        let x = co * p1.x_km - s * p1.y_km;
+        let y = s * p1.x_km + co * p1.y_km;
+        assert!((x - p0.x_km).abs() < 1e-3);
+        assert!((y - p0.y_km).abs() < 1e-3);
+        assert!((p1.z_km - p0.z_km).abs() < 1e-3);
+    }
+
+    #[test]
+    fn full_constellation_has_four_shells() {
+        let c = Constellation::starlink_full();
+        assert_eq!(c.shells().len(), 4);
+        // 1584 + 1584 + 720 + 348 = 4236 satellites.
+        assert_eq!(c.total_sats(), 4236);
+        assert_eq!(c.satellites().count(), 4236);
+    }
+
+    #[test]
+    fn polar_shell_covers_high_latitudes() {
+        // The 97.6° shell reaches latitudes the 53° shell cannot.
+        use leo_geo::point::GeoPoint;
+        let full = Constellation::starlink_full();
+        let shell1 = Constellation::starlink();
+        let arctic = GeoPoint::new(78.0, 15.0); // Svalbard-like
+        let gp = arctic.to_ecef(0.0);
+        let visible = |c: &Constellation| {
+            c.satellites()
+                .filter(|&s| gp.elevation_deg_to(&c.position_ecef(s, 300.0)) >= 25.0)
+                .count()
+        };
+        assert_eq!(visible(&shell1), 0, "53° shell should not serve 78°N");
+        assert!(visible(&full) > 0, "polar shell should serve 78°N");
+    }
+
+    #[test]
+    fn satellites_iterator_is_complete_and_unique() {
+        let c = Constellation::starlink();
+        let all: Vec<Satellite> = c.satellites().collect();
+        assert_eq!(all.len(), 1584);
+        let mut dedup = all.clone();
+        dedup.sort_by_key(|s| (s.shell, s.plane, s.slot));
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn adjacent_slots_are_spaced_along_track() {
+        let c = Constellation::starlink();
+        let a = c.position_ecef(
+            Satellite {
+                shell: 0,
+                plane: 0,
+                slot: 0,
+            },
+            0.0,
+        );
+        let b = c.position_ecef(
+            Satellite {
+                shell: 0,
+                plane: 0,
+                slot: 1,
+            },
+            0.0,
+        );
+        // In-plane spacing is 360/22 ≈ 16.4° of arc ≈ 2π r / 22 chord-ish.
+        let r = Shell::starlink_shell1().orbit_radius_km();
+        let expected_chord = 2.0 * r * (std::f64::consts::PI / 22.0).sin();
+        assert!((a.distance_km(&b) - expected_chord).abs() < 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Starlink service plans: Roam and Mobility.
+//!
+//! §3.1: the study compares the **Roam** plan (portable, cheap, standard
+//! dish) against the **Mobility** plan (flat high-performance dish, "wider
+//! field of view", network priority, >4× hardware cost). §4.1 attributes
+//! Mobility's ~2× throughput advantage to its wider field of view, prompter
+//! tracking under motion, and advertised congestion priority — exactly the
+//! three knobs modelled here.
+
+use serde::{Deserialize, Serialize};
+
+/// A Starlink service plan and its dish characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DishPlan {
+    /// Roam (RM): portable standard dish, best-effort priority.
+    Roam,
+    /// Mobility (MOB): in-motion flat dish, highest network priority.
+    Mobility,
+}
+
+impl DishPlan {
+    /// All plans, in the paper's RM-then-MOB order.
+    pub const ALL: [DishPlan; 2] = [DishPlan::Roam, DishPlan::Mobility];
+
+    /// Short label used in figures ("RM" / "MOB").
+    pub fn label(&self) -> &'static str {
+        match self {
+            DishPlan::Roam => "RM",
+            DishPlan::Mobility => "MOB",
+        }
+    }
+
+    /// Minimum usable satellite elevation, degrees.
+    ///
+    /// The Mobility dish's wider field of view lets it use lower passes,
+    /// which both raises the visible-satellite count and shortens the gaps
+    /// between usable satellites while moving.
+    pub fn min_elevation_deg(&self) -> f64 {
+        match self {
+            DishPlan::Roam => 35.0,
+            DishPlan::Mobility => 22.0,
+        }
+    }
+
+    /// Fraction of cell capacity granted under the plan's priority tier.
+    ///
+    /// Mobility is advertised as receiving "the highest priority in the
+    /// network, for instance, during congestion"; Roam rides best-effort.
+    pub fn priority_factor(&self) -> f64 {
+        match self {
+            DishPlan::Roam => 0.52,
+            DishPlan::Mobility => 1.0,
+        }
+    }
+
+    /// Seconds of degraded service after a satellite handover while in
+    /// motion (re-acquisition / re-pointing time).
+    pub fn reacquisition_s(&self) -> u32 {
+        match self {
+            DishPlan::Roam => 3,
+            DishPlan::Mobility => 1,
+        }
+    }
+
+    /// Speed-sensitivity of tracking: capacity penalty per 100 km/h of
+    /// vehicle speed. §4.1 blames Roam's lag "to adjust its orientation
+    /// promptly under high mobility"; Mobility is designed for motion and
+    /// takes no penalty (Figure 6 shows flat speed curves for MOB).
+    pub fn speed_penalty_per_100kmh(&self) -> f64 {
+        match self {
+            DishPlan::Roam => 0.15,
+            DishPlan::Mobility => 0.0,
+        }
+    }
+
+    /// Relative hardware cost versus Roam (§3.1: "over 4× the hardware
+    /// cost"). Used by the cost-effectiveness analysis in `leo-core`.
+    pub fn hardware_cost_factor(&self) -> f64 {
+        match self {
+            DishPlan::Roam => 1.0,
+            DishPlan::Mobility => 4.3,
+        }
+    }
+}
+
+impl std::fmt::Display for DishPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobility_has_wider_view_and_priority() {
+        assert!(DishPlan::Mobility.min_elevation_deg() < DishPlan::Roam.min_elevation_deg());
+        assert!(DishPlan::Mobility.priority_factor() > DishPlan::Roam.priority_factor());
+        assert!(DishPlan::Mobility.reacquisition_s() < DishPlan::Roam.reacquisition_s());
+    }
+
+    #[test]
+    fn mobility_costs_over_4x() {
+        assert!(DishPlan::Mobility.hardware_cost_factor() > 4.0);
+        assert_eq!(DishPlan::Roam.hardware_cost_factor(), 1.0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(DishPlan::Roam.label(), "RM");
+        assert_eq!(DishPlan::Mobility.label(), "MOB");
+    }
+
+    #[test]
+    fn only_roam_is_speed_sensitive() {
+        assert!(DishPlan::Roam.speed_penalty_per_100kmh() > 0.0);
+        assert_eq!(DishPlan::Mobility.speed_penalty_per_100kmh(), 0.0);
+    }
+}

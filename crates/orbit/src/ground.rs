@@ -1,0 +1,143 @@
+//! Ground stations and bent-pipe path latency.
+//!
+//! In 2023, Starlink user traffic was bent-pipe: user dish → satellite →
+//! ground station (gateway) → point of presence → Internet. The paper's
+//! Eq. 1 estimates the one-way satellite hop at ≈1.835 ms (550 km at the
+//! speed of light); the end-to-end RTT of 50–100 ms is dominated by
+//! gateway/PoP backhaul and scheduling, which the link model adds on top of
+//! the geometric component computed here.
+
+use crate::constellation::{Constellation, Satellite};
+use crate::SPEED_OF_LIGHT_KM_S;
+use leo_geo::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// A Starlink gateway ground station.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundStation {
+    pub name: String,
+    pub location: GeoPoint,
+}
+
+/// The set of gateways serving the campaign region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundStationDb {
+    stations: Vec<GroundStation>,
+}
+
+impl GroundStationDb {
+    /// Builds a database from explicit stations.
+    pub fn from_stations(stations: Vec<GroundStation>) -> Self {
+        Self { stations }
+    }
+
+    /// Synthetic gateways spread across the five-state corridor, spaced
+    /// like the real ~500–900 km gateway grid in the US Midwest.
+    pub fn midwest_corridor() -> Self {
+        let mk = |name: &str, lat: f64, lon: f64| GroundStation {
+            name: name.to_string(),
+            location: GeoPoint::new(lat, lon),
+        };
+        Self::from_stations(vec![
+            mk("gw-lakeport", 45.3, -93.9),
+            mk("gw-brewton", 43.5, -89.9),
+            mk("gw-lakeshore", 41.5, -88.4),
+            mk("gw-cornfield", 41.9, -93.2),
+            mk("gw-sioux", 43.6, -96.4),
+            mk("gw-rapid", 44.2, -103.0),
+        ])
+    }
+
+    /// The stations.
+    pub fn stations(&self) -> &[GroundStation] {
+        &self.stations
+    }
+
+    /// The station nearest to `p`, with its distance in km.
+    pub fn nearest(&self, p: &GeoPoint) -> Option<(&GroundStation, f64)> {
+        self.stations
+            .iter()
+            .map(|s| (s, s.location.distance_km(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+    }
+
+    /// Geometric one-way latency (ms) of the bent pipe user → `sat` →
+    /// nearest gateway, at time `t_s`.
+    ///
+    /// Returns `None` when the database is empty.
+    pub fn bent_pipe_one_way_ms(
+        &self,
+        constellation: &Constellation,
+        sat: Satellite,
+        user: &GeoPoint,
+        t_s: f64,
+    ) -> Option<f64> {
+        let (gw, _) = self.nearest(user)?;
+        let sat_pos = constellation.position_ecef(sat, t_s);
+        let up_km = user.to_ecef(0.0).distance_km(&sat_pos);
+        let down_km = gw.location.to_ecef(0.0).distance_km(&sat_pos);
+        Some((up_km + down_km) / SPEED_OF_LIGHT_KM_S * 1000.0)
+    }
+}
+
+/// The paper's Eq. 1: one-way latency of the vertical satellite hop, ms.
+///
+/// `Latency = distance / speed_of_light` with distance = orbital altitude.
+pub fn eq1_one_way_latency_ms(altitude_km: f64) -> f64 {
+    altitude_km / SPEED_OF_LIGHT_KM_S * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::Constellation;
+    use crate::visibility::best_satellite;
+
+    #[test]
+    fn eq1_reproduces_paper_value() {
+        // Paper: 550 km / 299792 km/s = 1.835 ms.
+        let ms = eq1_one_way_latency_ms(550.0);
+        assert!((ms - 1.835).abs() < 0.001, "got {ms}");
+    }
+
+    #[test]
+    fn nearest_gateway_on_corridor() {
+        let db = GroundStationDb::midwest_corridor();
+        let (gw, d) = db.nearest(&GeoPoint::new(45.0, -93.2)).unwrap();
+        assert_eq!(gw.name, "gw-lakeport");
+        assert!(d < 100.0);
+    }
+
+    #[test]
+    fn bent_pipe_latency_is_single_digit_ms() {
+        // With the user near a gateway and a high-elevation satellite, the
+        // geometric bent-pipe one-way latency is a handful of milliseconds —
+        // consistent with the paper's observation that the satellite hop
+        // contributes little to the 50–100 ms RTTs.
+        let c = Constellation::starlink();
+        let db = GroundStationDb::midwest_corridor();
+        let user = GeoPoint::new(44.9, -93.3);
+        let view = best_satellite(&c, &user, 500.0, 25.0).expect("satellite visible");
+        let ms = db.bent_pipe_one_way_ms(&c, view.sat, &user, 500.0).unwrap();
+        assert!((1.8..15.0).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn bent_pipe_latency_lower_bounded_by_eq1() {
+        let c = Constellation::starlink();
+        let db = GroundStationDb::midwest_corridor();
+        let user = GeoPoint::new(43.5, -96.7);
+        for t in [0.0, 120.0, 480.0] {
+            if let Some(view) = best_satellite(&c, &user, t, 25.0) {
+                let ms = db.bent_pipe_one_way_ms(&c, view.sat, &user, t).unwrap();
+                assert!(ms >= 2.0 * eq1_one_way_latency_ms(550.0) * 0.99);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_db_returns_none() {
+        let db = GroundStationDb::from_stations(vec![]);
+        assert!(db.nearest(&GeoPoint::new(0.0, 0.0)).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! LEO satellite constellation simulator.
+//!
+//! The paper measured the real Starlink service; this crate stands in for
+//! that service with a physics-grounded simulator:
+//!
+//! * [`constellation`] — Walker-delta shells propagated on circular orbits
+//!   (the default is Starlink shell 1: 550 km, 53°, 72 planes × 22
+//!   satellites, the shell that served the paper's 2023 campaign),
+//! * [`visibility`] — elevation/azimuth geometry, visible-satellite
+//!   queries, and pass prediction,
+//! * [`ground`] — ground stations and bent-pipe path latency; Eq. 1 of the
+//!   paper (≈1.835 ms one-way at 550 km) falls out of this geometry,
+//! * [`obstruction`] — the line-of-sight blockage process that §2 and §5
+//!   identify as Starlink's key weakness in built-up areas,
+//! * [`dish`] — the Roam and Mobility service plans (field of view,
+//!   tracking agility, congestion priority),
+//! * [`model`] — [`StarlinkLinkModel`], which reduces all of the above to
+//!   per-second [`leo_link::DuplexCondition`]s for the measurement tools.
+
+pub mod constellation;
+pub mod dish;
+pub mod ground;
+pub mod model;
+pub mod obstruction;
+pub mod passes;
+pub mod visibility;
+
+pub use constellation::{Constellation, Satellite, Shell};
+pub use dish::DishPlan;
+pub use ground::{GroundStation, GroundStationDb};
+pub use model::{StarlinkLinkModel, StarlinkModelConfig};
+pub use obstruction::{ObstructionParams, ObstructionProcess, SkyState};
+pub use passes::{coverage_stats, passes_of, serving_timeline, CoverageStats, SatPass};
+pub use visibility::{best_satellite, visible_satellites, SatView};
+
+/// Speed of light in km/s, as used in the paper's Eq. 1.
+pub const SPEED_OF_LIGHT_KM_S: f64 = 299_792.0;

@@ -1,0 +1,227 @@
+//! Line-of-sight obstruction as a three-state Markov process.
+//!
+//! §2: "Starlink requires Line-of-Sight between user dishes and satellites.
+//! Obstructions such as tall buildings or trees can disrupt the satellite
+//! connections." For a dish on a moving vehicle, obstruction arrives in
+//! bursts — a downtown canyon, a tree-lined mile — which we model as a
+//! per-second Markov chain over three sky states whose dynamics depend on
+//! the area type being driven through.
+
+use leo_geo::area::AreaType;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The dish's current view of the sky.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SkyState {
+    /// Unobstructed line of sight.
+    Clear,
+    /// Partially obstructed (edge of a building shadow, tree canopy):
+    /// degraded capacity, elevated loss.
+    Partial,
+    /// Fully blocked: outage-level service.
+    Blocked,
+}
+
+impl SkyState {
+    /// Multiplier applied to clear-sky capacity in this state.
+    pub fn capacity_factor(&self) -> f64 {
+        match self {
+            SkyState::Clear => 1.0,
+            SkyState::Partial => 0.40,
+            SkyState::Blocked => 0.03,
+        }
+    }
+
+    /// Additional packet-loss probability contributed by this state.
+    pub fn extra_loss(&self) -> f64 {
+        match self {
+            SkyState::Clear => 0.0,
+            SkyState::Partial => 0.025,
+            SkyState::Blocked => 0.35,
+        }
+    }
+}
+
+/// Per-second transition probabilities of the sky-state chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObstructionParams {
+    pub clear_to_partial: f64,
+    pub partial_to_blocked: f64,
+    pub partial_to_clear: f64,
+    pub blocked_to_partial: f64,
+}
+
+impl ObstructionParams {
+    /// Parameters for an area type.
+    ///
+    /// Urban canyons keep the chain in Partial/Blocked much of the time;
+    /// §5.1 notes suburban towns "have much fewer high buildings, leading
+    /// to similar obstruction conditions to rural areas", so suburban and
+    /// rural parameters are deliberately close.
+    pub fn for_area(area: AreaType) -> Self {
+        match area {
+            AreaType::Urban => ObstructionParams {
+                clear_to_partial: 0.120,
+                partial_to_blocked: 0.110,
+                partial_to_clear: 0.100,
+                blocked_to_partial: 0.140,
+            },
+            AreaType::Suburban => ObstructionParams {
+                clear_to_partial: 0.022,
+                partial_to_blocked: 0.030,
+                partial_to_clear: 0.250,
+                blocked_to_partial: 0.300,
+            },
+            AreaType::Rural => ObstructionParams {
+                clear_to_partial: 0.014,
+                partial_to_blocked: 0.020,
+                partial_to_clear: 0.300,
+                blocked_to_partial: 0.350,
+            },
+        }
+    }
+
+    /// Stationary distribution `(clear, partial, blocked)` of the chain.
+    pub fn stationary(&self) -> (f64, f64, f64) {
+        // Balance equations for the birth-death chain
+        // Clear <-> Partial <-> Blocked:
+        //   π_c · c2p = π_p · p2c      → π_p = π_c · c2p / p2c
+        //   π_p · p2b = π_b · b2p      → π_b = π_p · p2b / b2p
+        let pc = 1.0;
+        let pp = pc * self.clear_to_partial / self.partial_to_clear;
+        let pb = pp * self.partial_to_blocked / self.blocked_to_partial;
+        let z = pc + pp + pb;
+        (pc / z, pp / z, pb / z)
+    }
+}
+
+/// The running obstruction process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObstructionProcess {
+    state: SkyState,
+}
+
+impl Default for ObstructionProcess {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObstructionProcess {
+    /// Starts the process with a clear sky.
+    pub fn new() -> Self {
+        Self {
+            state: SkyState::Clear,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> SkyState {
+        self.state
+    }
+
+    /// Advances one second through an area of the given type.
+    pub fn step<R: Rng + ?Sized>(&mut self, area: AreaType, rng: &mut R) -> SkyState {
+        let p = ObstructionParams::for_area(area);
+        let u: f64 = rng.gen();
+        self.state = match self.state {
+            SkyState::Clear => {
+                if u < p.clear_to_partial {
+                    SkyState::Partial
+                } else {
+                    SkyState::Clear
+                }
+            }
+            SkyState::Partial => {
+                if u < p.partial_to_blocked {
+                    SkyState::Blocked
+                } else if u < p.partial_to_blocked + p.partial_to_clear {
+                    SkyState::Clear
+                } else {
+                    SkyState::Partial
+                }
+            }
+            SkyState::Blocked => {
+                if u < p.blocked_to_partial {
+                    SkyState::Partial
+                } else {
+                    SkyState::Blocked
+                }
+            }
+        };
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical_clear_fraction(area: AreaType, seed: u64, n: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut proc = ObstructionProcess::new();
+        let mut clear = 0usize;
+        for _ in 0..n {
+            if proc.step(area, &mut rng) == SkyState::Clear {
+                clear += 1;
+            }
+        }
+        clear as f64 / n as f64
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one() {
+        for area in AreaType::ALL {
+            let (c, p, b) = ObstructionParams::for_area(area).stationary();
+            assert!((c + p + b - 1.0).abs() < 1e-12);
+            assert!(c > 0.0 && p > 0.0 && b > 0.0);
+        }
+    }
+
+    #[test]
+    fn urban_is_much_more_obstructed_than_rural() {
+        let (cu, ..) = ObstructionParams::for_area(AreaType::Urban).stationary();
+        let (cr, ..) = ObstructionParams::for_area(AreaType::Rural).stationary();
+        assert!(cu < 0.6, "urban clear fraction {cu}");
+        assert!(cr > 0.9, "rural clear fraction {cr}");
+    }
+
+    #[test]
+    fn suburban_and_rural_are_similar() {
+        // §5.1's observation drives Figure 8's suburban≈rural Starlink
+        // distributions; keep the stationary clear fractions within 6 pts.
+        let (cs, ..) = ObstructionParams::for_area(AreaType::Suburban).stationary();
+        let (cr, ..) = ObstructionParams::for_area(AreaType::Rural).stationary();
+        assert!((cs - cr).abs() < 0.06, "suburban {cs} vs rural {cr}");
+    }
+
+    #[test]
+    fn empirical_matches_stationary() {
+        for area in AreaType::ALL {
+            let (c, ..) = ObstructionParams::for_area(area).stationary();
+            let emp = empirical_clear_fraction(area, 1234, 200_000);
+            assert!(
+                (emp - c).abs() < 0.02,
+                "{area}: empirical {emp} vs stationary {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn process_is_deterministic_per_seed() {
+        let a = empirical_clear_fraction(AreaType::Urban, 7, 1000);
+        let b = empirical_clear_fraction(AreaType::Urban, 7, 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn factors_are_ordered() {
+        assert!(SkyState::Clear.capacity_factor() > SkyState::Partial.capacity_factor());
+        assert!(SkyState::Partial.capacity_factor() > SkyState::Blocked.capacity_factor());
+        assert!(SkyState::Clear.extra_loss() < SkyState::Partial.extra_loss());
+        assert!(SkyState::Partial.extra_loss() < SkyState::Blocked.extra_loss());
+    }
+}

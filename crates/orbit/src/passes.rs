@@ -1,0 +1,213 @@
+//! Satellite pass prediction.
+//!
+//! Utilities for asking "when is a satellite usable from here": per-
+//! satellite pass windows (AOS → LOS against an elevation mask) and the
+//! gap structure of best-satellite coverage. These drive the dish-plan
+//! comparison — Roam's narrower field of view sees shorter passes with
+//! longer gaps, the geometric root of its §4.1 disadvantage — and are the
+//! kind of tooling a Starlink measurement kit ships (cf. Hypatia,
+//! StarPerf).
+
+use crate::constellation::{Constellation, Satellite};
+use crate::visibility::{best_satellite, visible_satellites};
+use leo_geo::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// One visibility pass of one satellite over a ground point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SatPass {
+    pub sat: Satellite,
+    /// Acquisition of signal, seconds since epoch.
+    pub aos_s: f64,
+    /// Loss of signal, seconds since epoch.
+    pub los_s: f64,
+    /// Peak elevation over the pass, degrees.
+    pub max_elevation_deg: f64,
+}
+
+impl SatPass {
+    /// Pass duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.los_s - self.aos_s
+    }
+}
+
+/// Finds the passes of a single satellite over `[t0, t1]`, sampling at
+/// `step_s` resolution.
+pub fn passes_of(
+    constellation: &Constellation,
+    sat: Satellite,
+    ground: &GeoPoint,
+    min_elevation_deg: f64,
+    t0: f64,
+    t1: f64,
+    step_s: f64,
+) -> Vec<SatPass> {
+    assert!(step_s > 0.0 && t1 > t0);
+    let gp = ground.to_ecef(0.0);
+    let mut passes = Vec::new();
+    let mut current: Option<SatPass> = None;
+    let mut t = t0;
+    while t <= t1 {
+        let elev = gp.elevation_deg_to(&constellation.position_ecef(sat, t));
+        if elev >= min_elevation_deg {
+            match &mut current {
+                Some(p) => {
+                    p.los_s = t;
+                    p.max_elevation_deg = p.max_elevation_deg.max(elev);
+                }
+                None => {
+                    current = Some(SatPass {
+                        sat,
+                        aos_s: t,
+                        los_s: t,
+                        max_elevation_deg: elev,
+                    });
+                }
+            }
+        } else if let Some(p) = current.take() {
+            passes.push(p);
+        }
+        t += step_s;
+    }
+    if let Some(p) = current {
+        passes.push(p);
+    }
+    passes
+}
+
+/// Coverage statistics of the *best available* satellite over a window:
+/// what fraction of sampled instants had any satellite above the mask,
+/// and the mean count of visible satellites.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageStats {
+    pub availability: f64,
+    pub mean_visible: f64,
+    /// Longest gap with no usable satellite, seconds.
+    pub longest_gap_s: f64,
+}
+
+/// Sweeps `[t0, t1]` at `step_s` and summarises best-satellite coverage.
+pub fn coverage_stats(
+    constellation: &Constellation,
+    ground: &GeoPoint,
+    min_elevation_deg: f64,
+    t0: f64,
+    t1: f64,
+    step_s: f64,
+) -> CoverageStats {
+    assert!(step_s > 0.0 && t1 > t0);
+    let mut samples = 0u64;
+    let mut covered = 0u64;
+    let mut visible_total = 0u64;
+    let mut gap = 0.0;
+    let mut longest_gap = 0.0f64;
+    let mut t = t0;
+    while t <= t1 {
+        samples += 1;
+        let vis = visible_satellites(constellation, ground, t, min_elevation_deg);
+        visible_total += vis.len() as u64;
+        if vis.is_empty() {
+            gap += step_s;
+            longest_gap = longest_gap.max(gap);
+        } else {
+            covered += 1;
+            gap = 0.0;
+        }
+        t += step_s;
+    }
+    CoverageStats {
+        availability: covered as f64 / samples as f64,
+        mean_visible: visible_total as f64 / samples as f64,
+        longest_gap_s: longest_gap,
+    }
+}
+
+/// The serving-satellite timeline: which satellite a mask-limited dish
+/// would track at each `step_s` instant, with handover count.
+pub fn serving_timeline(
+    constellation: &Constellation,
+    ground: &GeoPoint,
+    min_elevation_deg: f64,
+    t0: f64,
+    t1: f64,
+    step_s: f64,
+) -> (Vec<Option<Satellite>>, usize) {
+    assert!(step_s > 0.0 && t1 > t0);
+    let mut serving = Vec::new();
+    let mut handovers = 0;
+    let mut t = t0;
+    while t <= t1 {
+        let best = best_satellite(constellation, ground, t, min_elevation_deg).map(|v| v.sat);
+        if let (Some(prev), Some(cur)) = (serving.last().copied().flatten(), best) {
+            if prev != cur {
+                handovers += 1;
+            }
+        }
+        serving.push(best);
+        t += step_s;
+    }
+    (serving, handovers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn midwest() -> GeoPoint {
+        GeoPoint::new(44.5, -93.0)
+    }
+
+    #[test]
+    fn passes_have_sane_structure() {
+        let c = Constellation::starlink();
+        // Find some satellite that is up at t=0 and follow it.
+        let v = best_satellite(&c, &midwest(), 0.0, 25.0).expect("visible sat");
+        let passes = passes_of(&c, v.sat, &midwest(), 25.0, 0.0, 3600.0, 5.0);
+        assert!(!passes.is_empty());
+        for p in &passes {
+            assert!(p.los_s >= p.aos_s);
+            assert!(p.max_elevation_deg >= 25.0);
+            // A 550 km pass above a 25° mask lasts at most a few minutes.
+            assert!(
+                p.duration_s() < 600.0,
+                "pass of {}s implausible",
+                p.duration_s()
+            );
+        }
+    }
+
+    #[test]
+    fn midlatitude_availability_is_total_with_wide_mask() {
+        let c = Constellation::starlink();
+        let stats = coverage_stats(&c, &midwest(), 25.0, 0.0, 900.0, 15.0);
+        assert!(
+            stats.availability > 0.99,
+            "availability {}",
+            stats.availability
+        );
+        assert!(stats.mean_visible >= 1.0);
+        assert_eq!(stats.longest_gap_s, 0.0);
+    }
+
+    #[test]
+    fn narrow_mask_reduces_coverage_quality() {
+        // The Roam-vs-Mobility geometric story: a higher elevation mask
+        // (narrower field of view) sees fewer satellites.
+        let c = Constellation::starlink();
+        let wide = coverage_stats(&c, &midwest(), 22.0, 0.0, 600.0, 30.0);
+        let narrow = coverage_stats(&c, &midwest(), 55.0, 0.0, 600.0, 30.0);
+        assert!(narrow.mean_visible < wide.mean_visible);
+        assert!(narrow.availability <= wide.availability);
+    }
+
+    #[test]
+    fn serving_timeline_hands_over() {
+        let c = Constellation::starlink();
+        let (serving, handovers) = serving_timeline(&c, &midwest(), 25.0, 0.0, 1800.0, 15.0);
+        assert_eq!(serving.len(), 121);
+        // LEO satellites cross the sky in minutes: half an hour of
+        // tracking must hand over several times.
+        assert!(handovers >= 3, "only {handovers} handovers in 30 min");
+    }
+}

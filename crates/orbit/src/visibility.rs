@@ -1,0 +1,189 @@
+//! Satellite visibility from a ground point.
+
+use crate::constellation::{Constellation, Satellite};
+use leo_geo::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// A satellite as seen from a ground point: identity plus look geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SatView {
+    pub sat: Satellite,
+    /// Elevation above the local horizon, degrees.
+    pub elevation_deg: f64,
+    /// Slant range from the ground point, km.
+    pub range_km: f64,
+}
+
+/// All satellites above `min_elevation_deg` as seen from `ground` at `t_s`.
+///
+/// A cheap z-band prefilter rejects satellites whose sub-satellite latitude
+/// is too far from the observer to possibly clear the mask, keeping full
+/// constellation sweeps fast enough for campaign-scale simulation.
+pub fn visible_satellites(
+    constellation: &Constellation,
+    ground: &GeoPoint,
+    t_s: f64,
+    min_elevation_deg: f64,
+) -> Vec<SatView> {
+    let gp = ground.to_ecef(0.0);
+    // Maximum great-circle angle between observer and sub-satellite point
+    // for the satellite to be above `min_elevation_deg`, padded slightly.
+    let max_central_angle_deg = max_central_angle_deg(constellation, min_elevation_deg) + 1.0;
+    let mut views = Vec::new();
+    for sat in constellation.satellites() {
+        let sp = constellation.position_ecef(sat, t_s);
+        // Prefilter on the dot-product bound: cos(central angle).
+        let cosang = gp.dot(&sp) / (gp.norm_km() * sp.norm_km());
+        if cosang < max_central_angle_deg.to_radians().cos() {
+            continue;
+        }
+        let elevation = gp.elevation_deg_to(&sp);
+        if elevation >= min_elevation_deg {
+            views.push(SatView {
+                sat,
+                elevation_deg: elevation,
+                range_km: gp.distance_km(&sp),
+            });
+        }
+    }
+    views
+}
+
+/// The visible satellite with the highest elevation, if any.
+pub fn best_satellite(
+    constellation: &Constellation,
+    ground: &GeoPoint,
+    t_s: f64,
+    min_elevation_deg: f64,
+) -> Option<SatView> {
+    visible_satellites(constellation, ground, t_s, min_elevation_deg)
+        .into_iter()
+        .max_by(|a, b| {
+            a.elevation_deg
+                .partial_cmp(&b.elevation_deg)
+                .expect("elevations are finite")
+        })
+}
+
+/// Worst-case central angle (observer ↔ sub-satellite point) at which a
+/// satellite of the constellation's highest shell still clears
+/// `min_elevation_deg`. Used as a visibility prefilter bound.
+fn max_central_angle_deg(constellation: &Constellation, min_elevation_deg: f64) -> f64 {
+    let r_earth = leo_geo::point::EARTH_RADIUS_KM;
+    constellation
+        .shells()
+        .iter()
+        .map(|s| {
+            let r_orbit = s.orbit_radius_km();
+            // From the elevation geometry: the Earth-central angle ψ for
+            // elevation ε satisfies ψ = acos(Re/Ro · cos ε) − ε.
+            let e = min_elevation_deg.to_radians();
+            let psi = ((r_earth / r_orbit) * e.cos()).acos() - e;
+            psi.to_degrees()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Slant range (km) from a ground observer to a satellite at `altitude_km`
+/// seen at `elevation_deg` — the textbook LEO geometry formula.
+pub fn slant_range_km(altitude_km: f64, elevation_deg: f64) -> f64 {
+    let re = leo_geo::point::EARTH_RADIUS_KM;
+    let ro = re + altitude_km;
+    let e = elevation_deg.to_radians();
+    // Law of cosines in the Earth-centre / observer / satellite triangle:
+    // d = sqrt(ro² − re²cos²ε) − re·sinε.
+    (ro * ro - (re * e.cos()).powi(2)).sqrt() - re * e.sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slant_range_at_zenith_is_altitude() {
+        let d = slant_range_km(550.0, 90.0);
+        assert!((d - 550.0).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn slant_range_grows_towards_horizon() {
+        let mut prev = 0.0;
+        for elev in [90.0, 60.0, 40.0, 25.0, 10.0] {
+            let d = slant_range_km(550.0, elev);
+            assert!(d > prev, "range should grow as elevation falls");
+            prev = d;
+        }
+        // At 25° the slant range is roughly 1100 km for a 550 km shell.
+        let d25 = slant_range_km(550.0, 25.0);
+        assert!((1000.0..1300.0).contains(&d25), "got {d25}");
+    }
+
+    #[test]
+    fn mid_latitude_observer_sees_satellites() {
+        // At 45°N — in the heart of the 53° shell's coverage — several
+        // satellites are always above a 25° mask.
+        let c = Constellation::starlink();
+        let ground = GeoPoint::new(45.0, -93.0);
+        for t in [0.0, 300.0, 900.0, 3333.0] {
+            let views = visible_satellites(&c, &ground, t, 25.0);
+            assert!(
+                views.len() >= 2,
+                "expected multiple visible sats at t={t}, got {}",
+                views.len()
+            );
+        }
+    }
+
+    #[test]
+    fn equatorial_observer_sees_fewer_high_sats_than_mid_latitude() {
+        // The 53° shell's density peaks near ±53° latitude.
+        let c = Constellation::starlink();
+        let count_at = |lat: f64| {
+            let g = GeoPoint::new(lat, -93.0);
+            (0..20)
+                .map(|i| visible_satellites(&c, &g, i as f64 * 311.0, 40.0).len())
+                .sum::<usize>()
+        };
+        let mid = count_at(50.0);
+        let eq = count_at(0.0);
+        assert!(mid > eq, "mid-lat {mid} should exceed equatorial {eq}");
+    }
+
+    #[test]
+    fn best_satellite_has_max_elevation() {
+        let c = Constellation::starlink();
+        let ground = GeoPoint::new(44.0, -90.0);
+        let views = visible_satellites(&c, &ground, 123.0, 25.0);
+        let best = best_satellite(&c, &ground, 123.0, 25.0).unwrap();
+        for v in views {
+            assert!(v.elevation_deg <= best.elevation_deg + 1e-9);
+        }
+    }
+
+    #[test]
+    fn raising_the_mask_reduces_visibility() {
+        let c = Constellation::starlink();
+        let ground = GeoPoint::new(43.0, -95.0);
+        let lo = visible_satellites(&c, &ground, 777.0, 20.0).len();
+        let hi = visible_satellites(&c, &ground, 777.0, 45.0).len();
+        assert!(hi <= lo);
+    }
+
+    #[test]
+    fn prefilter_does_not_drop_visible_sats() {
+        // Brute-force (no prefilter) must agree with the fast path.
+        let c = Constellation::starlink();
+        let ground = GeoPoint::new(46.5, -100.0);
+        let t = 411.0;
+        let gp = ground.to_ecef(0.0);
+        let brute: Vec<Satellite> = c
+            .satellites()
+            .filter(|&s| gp.elevation_deg_to(&c.position_ecef(s, t)) >= 30.0)
+            .collect();
+        let fast: Vec<Satellite> = visible_satellites(&c, &ground, t, 30.0)
+            .into_iter()
+            .map(|v| v.sat)
+            .collect();
+        assert_eq!(brute.len(), fast.len());
+    }
+}

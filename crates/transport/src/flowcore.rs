@@ -1,0 +1,483 @@
+//! The shared reliable-flow state machine.
+//!
+//! Both single-path TCP and each MPTCP subflow run the same machinery:
+//! a sliding window, SACK scoreboard, fast retransmit, recovery with
+//! SACK-driven hole filling, and an RTO with exponential backoff. This
+//! module owns that machine as a pure (network-free) state object; the
+//! agents in [`crate::tcp`] and [`crate::mptcp`] translate its decisions
+//! into packets.
+//!
+//! Sequence numbers count MSS-sized segments. Each transmitted segment
+//! carries an opaque `aux` word (the MPTCP data sequence number; unused by
+//! plain TCP) that the core hands back whenever it asks for a
+//! retransmission.
+
+use crate::cc::{CcAlgorithm, CongestionControl};
+use crate::rtt::RttEstimator;
+use leo_netsim::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-segment transmission record.
+#[derive(Debug, Clone, Copy)]
+struct TxInfo {
+    aux: u64,
+    rexmit: bool,
+    /// Recovery epoch in which this segment was last retransmitted (so each
+    /// hole is filled at most once per recovery).
+    rexmit_epoch: u64,
+}
+
+/// What the core wants done after an input event.
+#[derive(Debug, Default)]
+pub struct FlowActions {
+    /// Segments to retransmit now: `(seq, aux)`.
+    pub retransmits: Vec<(u64, u64)>,
+    /// Aux words of segments presumed stranded after a timeout (MPTCP
+    /// reinjects these on sibling subflows; TCP ignores them).
+    pub stranded_aux: Vec<u64>,
+    /// The cumulative ACK point advanced.
+    pub advanced: bool,
+    /// Number of newly acknowledged segments.
+    pub newly_acked: u64,
+}
+
+/// SACK reordering threshold (RFC 6675's DupThresh).
+const DUP_THRESH: usize = 3;
+
+/// The reliable-flow sender core.
+#[derive(Debug)]
+pub struct FlowCore {
+    pub cc: Box<dyn CongestionControl>,
+    pub rtt: RttEstimator,
+    next_seq: u64,
+    snd_una: u64,
+    inflight: BTreeMap<u64, TxInfo>,
+    sacked: BTreeSet<u64>,
+    dup_acks: u32,
+    /// `Some(high_seq)` while in fast recovery.
+    recovery: Option<u64>,
+    recovery_epoch: u64,
+    /// Timer epoch for lazy cancellation.
+    pub rto_epoch: u64,
+    pub current_rto: SimTime,
+    pub packets_sent: u64,
+    pub retransmissions: u64,
+    pub timeouts: u64,
+    /// Timeouts since the last cumulative-ACK advance.
+    consec_timeouts: u32,
+}
+
+impl FlowCore {
+    /// A fresh flow with the given congestion controller.
+    pub fn new(cc: CcAlgorithm) -> Self {
+        Self {
+            cc: cc.build(),
+            rtt: RttEstimator::new(),
+            next_seq: 0,
+            snd_una: 0,
+            inflight: BTreeMap::new(),
+            sacked: BTreeSet::new(),
+            dup_acks: 0,
+            recovery: None,
+            recovery_epoch: 0,
+            rto_epoch: 0,
+            current_rto: SimTime::from_secs(1),
+            packets_sent: 0,
+            retransmissions: 0,
+            timeouts: 0,
+            consec_timeouts: 0,
+        }
+    }
+
+    /// Next fresh sequence number (allocated by [`Self::alloc_seq`]).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Cumulative acknowledgement point.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Segments in the network, excluding those the scoreboard knows
+    /// arrived (SACKed) — the RFC 6675 "pipe" estimate.
+    pub fn outstanding(&self) -> u64 {
+        (self.inflight.len() - self.sacked.len()) as u64
+    }
+
+    /// True while anything is unacknowledged.
+    pub fn has_outstanding(&self) -> bool {
+        self.snd_una < self.next_seq
+    }
+
+    /// Room for one more segment under the congestion window.
+    pub fn window_space(&self) -> bool {
+        (self.outstanding() as f64) < self.cc.cwnd()
+    }
+
+    /// Smoothed RTT (1 s before any sample, per RFC 6298).
+    pub fn srtt_s(&self) -> f64 {
+        self.rtt.srtt_or_default_s()
+    }
+
+    /// Allocates the next fresh sequence number. The caller must follow up
+    /// with [`Self::register_transmit`].
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Records that `seq` (carrying `aux`) was put on the wire.
+    pub fn register_transmit(&mut self, seq: u64, aux: u64, rexmit: bool) {
+        self.inflight.insert(
+            seq,
+            TxInfo {
+                aux,
+                rexmit,
+                rexmit_epoch: if rexmit { self.recovery_epoch } else { 0 },
+            },
+        );
+        self.packets_sent += 1;
+        if rexmit {
+            self.retransmissions += 1;
+        }
+    }
+
+    /// Retransmission rate over all transmissions.
+    pub fn retransmission_rate(&self) -> f64 {
+        if self.packets_sent == 0 {
+            0.0
+        } else {
+            self.retransmissions as f64 / self.packets_sent as f64
+        }
+    }
+
+    /// Processes an incoming cumulative ACK (`ack`), SACK hint (`sack` =
+    /// sequence of the segment that triggered it), and echoed send
+    /// timestamp (`echo_ns`, 0 = absent).
+    pub fn handle_ack(&mut self, ack: u64, sack: u64, echo_ns: u64, now: SimTime) -> FlowActions {
+        let mut out = FlowActions::default();
+
+        // Scoreboard: record out-of-order arrivals above the ACK point.
+        if sack > ack && sack < self.next_seq {
+            self.sacked.insert(sack);
+        }
+
+        if ack > self.snd_una {
+            out.advanced = true;
+            out.newly_acked = ack - self.snd_una;
+            let acked_seq = ack - 1;
+            let clean = self
+                .inflight
+                .get(&acked_seq)
+                .map(|i| !i.rexmit)
+                .unwrap_or(false);
+            if clean && echo_ns > 0 {
+                self.rtt
+                    .on_sample(now.saturating_since(SimTime::from_nanos(echo_ns)));
+            }
+            self.snd_una = ack;
+            self.inflight = self.inflight.split_off(&ack);
+            self.sacked = self.sacked.split_off(&ack);
+            self.dup_acks = 0;
+            self.current_rto = self.rtt.rto();
+            self.consec_timeouts = 0;
+
+            let now_s = now.as_secs_f64();
+            let srtt = self.srtt_s();
+            match self.recovery {
+                Some(high) if ack >= high => {
+                    self.recovery = None;
+                    self.cc.on_ack(out.newly_acked, now_s, srtt);
+                }
+                Some(_) => {
+                    // Still recovering: fill more holes. Window growth is
+                    // frozen in congestion avoidance (classic NewReno), but
+                    // slow-start growth is allowed — after an RTO the window
+                    // must rebuild from 1 even while old holes drain, or a
+                    // deep overshoot turns into a one-packet-per-RTT crawl.
+                    if self.cc.in_slow_start() {
+                        self.cc.on_ack(out.newly_acked, now_s, srtt);
+                    }
+                    self.collect_retransmits(&mut out);
+                    if out.retransmits.is_empty() {
+                        // NewReno-style partial-ACK fallback: the new head
+                        // hole is retransmitted even without SACK evidence.
+                        let head = self.snd_una;
+                        let fresh = self
+                            .inflight
+                            .get(&head)
+                            .map(|i| i.rexmit_epoch < self.recovery_epoch)
+                            .unwrap_or(false);
+                        if fresh {
+                            self.force_retransmit(head, &mut out);
+                        }
+                    }
+                }
+                None => {
+                    self.cc.on_ack(out.newly_acked, now_s, srtt);
+                }
+            }
+        } else if ack == self.snd_una && self.has_outstanding() {
+            self.dup_acks += 1;
+            let enough_sacks = self.sacked.len() >= DUP_THRESH;
+            if (self.dup_acks as usize >= DUP_THRESH || enough_sacks) && self.recovery.is_none() {
+                // Enter fast recovery.
+                self.cc.on_loss_event(now.as_secs_f64());
+                self.recovery = Some(self.next_seq);
+                self.recovery_epoch += 1;
+                self.collect_retransmits(&mut out);
+                if out.retransmits.is_empty() {
+                    // Always at least retransmit the head hole.
+                    self.force_retransmit(self.snd_una, &mut out);
+                }
+            } else if self.recovery.is_some() {
+                self.collect_retransmits(&mut out);
+            }
+        }
+        out
+    }
+
+    /// SACK-driven loss detection: a hole is deemed lost once `DUP_THRESH`
+    /// segments above it have been SACKed; each lost hole is retransmitted
+    /// at most once per recovery epoch, bounded by the pipe estimate.
+    fn collect_retransmits(&mut self, out: &mut FlowActions) {
+        let Some(high) = self.recovery else {
+            return;
+        };
+        let budget = (self.cc.cwnd() - self.outstanding() as f64).max(1.0) as usize;
+        let mut picked = Vec::new();
+        {
+            let sacked = &self.sacked;
+            let epoch = self.recovery_epoch;
+            let mut sacks_above = sacked.len();
+            // Walk holes in order; count SACKs above each hole.
+            for (&seq, info) in self.inflight.range(self.snd_una..high) {
+                if sacked.contains(&seq) {
+                    sacks_above -= 1;
+                    continue;
+                }
+                if sacks_above < DUP_THRESH {
+                    break; // holes beyond this lack SACK evidence
+                }
+                if info.rexmit_epoch < epoch {
+                    picked.push((seq, info.aux));
+                    if picked.len() >= budget {
+                        break;
+                    }
+                }
+            }
+        }
+        for &(seq, aux) in &picked {
+            if let Some(i) = self.inflight.get_mut(&seq) {
+                i.rexmit = true;
+                i.rexmit_epoch = self.recovery_epoch;
+            }
+            self.retransmissions += 1;
+            self.packets_sent += 1;
+            out.retransmits.push((seq, aux));
+        }
+    }
+
+    fn force_retransmit(&mut self, seq: u64, out: &mut FlowActions) {
+        if let Some(i) = self.inflight.get_mut(&seq) {
+            let aux = i.aux;
+            i.rexmit = true;
+            i.rexmit_epoch = self.recovery_epoch;
+            self.retransmissions += 1;
+            self.packets_sent += 1;
+            out.retransmits.push((seq, aux));
+        }
+    }
+
+    /// Handles an RTO timer firing with `epoch`; returns `None` for stale
+    /// timers or an idle flow.
+    pub fn handle_timeout(&mut self, epoch: u64, now: SimTime) -> Option<FlowActions> {
+        if epoch != self.rto_epoch || !self.has_outstanding() {
+            return None;
+        }
+        let mut out = FlowActions::default();
+        self.timeouts += 1;
+        self.consec_timeouts += 1;
+        self.cc.on_timeout(now.as_secs_f64());
+        self.dup_acks = 0;
+        self.recovery = None;
+        self.recovery_epoch += 1;
+        // Report un-SACKed in-flight aux words for possible reinjection
+        // elsewhere — but only once the path looks genuinely dead (a second
+        // consecutive timeout): a single RTO is often just a deep queue,
+        // and duplicating a whole window elsewhere wastes the good path.
+        if self.consec_timeouts >= 2 {
+            out.stranded_aux = self
+                .inflight
+                .iter()
+                .filter(|(seq, _)| !self.sacked.contains(seq))
+                .map(|(_, i)| i.aux)
+                .collect();
+        }
+        // RFC 2018: forget SACK state on RTO (the receiver may renege).
+        self.sacked.clear();
+        self.current_rto = RttEstimator::backoff(self.current_rto);
+        self.force_retransmit(self.snd_una, &mut out);
+        Some(out)
+    }
+
+    /// Bumps the RTO epoch; the caller arms a timer for `current_rto` with
+    /// the returned epoch as its id component.
+    pub fn arm_rto(&mut self) -> u64 {
+        self.rto_epoch += 1;
+        self.rto_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> FlowCore {
+        FlowCore::new(CcAlgorithm::Reno)
+    }
+
+    fn send_n(c: &mut FlowCore, n: u64) {
+        for _ in 0..n {
+            let s = c.alloc_seq();
+            c.register_transmit(s, s * 10, false);
+        }
+    }
+
+    #[test]
+    fn cumulative_ack_advances_and_grows_window() {
+        let mut c = core();
+        send_n(&mut c, 10);
+        let w0 = c.cc.cwnd();
+        let a = c.handle_ack(10, 9, 0, SimTime::from_millis(50));
+        assert!(a.advanced);
+        assert_eq!(a.newly_acked, 10);
+        assert_eq!(c.snd_una(), 10);
+        assert_eq!(c.outstanding(), 0);
+        assert!(c.cc.cwnd() > w0);
+    }
+
+    #[test]
+    fn triple_dupack_enters_recovery_and_retransmits_head() {
+        let mut c = core();
+        send_n(&mut c, 10);
+        // Packet 0 lost: ACKs for 1,2,3 arriving as dupacks of 0 with SACKs.
+        for s in [1u64, 2, 3] {
+            let a = c.handle_ack(0, s, 0, SimTime::from_millis(10));
+            if s == 3 {
+                assert_eq!(a.retransmits, vec![(0, 0)], "head hole retransmitted");
+            } else {
+                assert!(a.retransmits.is_empty());
+            }
+        }
+        assert_eq!(c.retransmissions, 1);
+    }
+
+    #[test]
+    fn sack_recovery_fills_many_holes_fast() {
+        let mut c = core();
+        send_n(&mut c, 100);
+        // Segments 0..50 lost; 50..100 arrive and are SACKed.
+        let mut total_rexmit = 0;
+        for s in 50..100u64 {
+            let a = c.handle_ack(0, s, 0, SimTime::from_millis(10));
+            total_rexmit += a.retransmits.len();
+        }
+        // All 50 holes should be queued for retransmission within the
+        // 50 dupacks (not one per RTT as cumulative-ACK NewReno would).
+        assert!(
+            total_rexmit >= 40,
+            "only {total_rexmit} holes retransmitted during recovery"
+        );
+        // And each hole only once.
+        assert!(total_rexmit <= 50);
+    }
+
+    #[test]
+    fn recovery_exits_on_full_ack() {
+        let mut c = core();
+        send_n(&mut c, 10);
+        for s in [1u64, 2, 3] {
+            c.handle_ack(0, s, 0, SimTime::from_millis(10));
+        }
+        assert!(c.recovery.is_some());
+        let a = c.handle_ack(10, 9, 0, SimTime::from_millis(30));
+        assert!(a.advanced);
+        assert!(c.recovery.is_none());
+    }
+
+    #[test]
+    fn timeout_strands_aux_and_backs_off() {
+        let mut c = core();
+        send_n(&mut c, 5);
+        let e = c.arm_rto();
+        let rto0 = c.current_rto;
+        // First timeout: conservative — retransmit locally, no reinjection.
+        let a = c.handle_timeout(e, SimTime::from_secs(1)).unwrap();
+        assert!(a.stranded_aux.is_empty(), "no reinjection on first RTO");
+        assert_eq!(a.retransmits.len(), 1);
+        assert!(c.current_rto > rto0);
+        assert_eq!(c.cc.cwnd(), 1.0);
+        // Second consecutive timeout: the path looks dead — everything
+        // un-SACKed is offered for reinjection.
+        let e2 = c.arm_rto();
+        let a2 = c.handle_timeout(e2, SimTime::from_secs(3)).unwrap();
+        assert_eq!(a2.stranded_aux, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn stale_timeout_ignored() {
+        let mut c = core();
+        send_n(&mut c, 5);
+        let e = c.arm_rto();
+        let _ = c.arm_rto(); // newer epoch supersedes
+        assert!(c.handle_timeout(e, SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn timeout_on_idle_flow_ignored() {
+        let mut c = core();
+        send_n(&mut c, 3);
+        c.handle_ack(3, 2, 0, SimTime::from_millis(40));
+        let e = c.arm_rto();
+        assert!(c.handle_timeout(e, SimTime::from_secs(2)).is_none());
+    }
+
+    #[test]
+    fn karn_skips_retransmitted_samples() {
+        let mut c = core();
+        send_n(&mut c, 2);
+        // Force a retransmit of seq 0, then ACK it with a timestamp.
+        for s in [1u64, 1, 1] {
+            c.handle_ack(0, s, 0, SimTime::from_millis(5));
+        }
+        assert!(c.retransmissions >= 1);
+        let before = c.rtt.srtt();
+        c.handle_ack(1, 0, 123_456, SimTime::from_millis(100));
+        assert_eq!(c.rtt.srtt(), before, "no RTT sample from a rexmitted seq");
+    }
+
+    #[test]
+    fn outstanding_excludes_sacked() {
+        let mut c = core();
+        send_n(&mut c, 10);
+        assert_eq!(c.outstanding(), 10);
+        c.handle_ack(0, 5, 0, SimTime::from_millis(5));
+        c.handle_ack(0, 6, 0, SimTime::from_millis(5));
+        assert_eq!(c.outstanding(), 8);
+    }
+
+    #[test]
+    fn window_space_respects_cwnd() {
+        let mut c = core();
+        // Initial cwnd 10: the 11th packet must not fit.
+        for _ in 0..10 {
+            assert!(c.window_space());
+            let s = c.alloc_seq();
+            c.register_transmit(s, 0, false);
+        }
+        assert!(!c.window_space());
+    }
+}

@@ -1,0 +1,298 @@
+//! Parallel TCP: N independent connections treated as one transfer.
+//!
+//! §4.2's TCP-parallelism experiment (`iPerf -P`): several TCP connections
+//! share the same path; the aggregate recovers much of the capacity a
+//! single loss-throttled connection leaves on the table, because loss in
+//! one connection does not stall the others.
+//!
+//! This module is a thin orchestration layer: it builds `n`
+//! sender/receiver pairs over a shared pair of links and aggregates their
+//! results.
+
+use crate::cc::CcAlgorithm;
+use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
+use leo_netsim::{LinkId, NodeId, SimTime, Simulator};
+
+/// Handles to a parallel-TCP experiment inside a simulator.
+pub struct ParallelTcp {
+    pub senders: Vec<NodeId>,
+    pub receivers: Vec<NodeId>,
+}
+
+impl ParallelTcp {
+    /// Installs `n` connections into `sim`, all sending over `data_link`
+    /// and ACKing over `ack_link`. Flow ids start at `base_flow`.
+    ///
+    /// The links must already exist and route data packets to all
+    /// receivers and ACKs to all senders — in practice both ends are
+    /// attached to a [`Demux`] node; see
+    /// [`install_with_demux`](Self::install_with_demux) for the turnkey
+    /// version.
+    pub fn install(
+        sim: &mut Simulator,
+        n: usize,
+        base_flow: u32,
+        cc: CcAlgorithm,
+        rwnd_packets: u64,
+        data_link: LinkId,
+        ack_link: LinkId,
+    ) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for i in 0..n {
+            let flow = base_flow + i as u32;
+            senders.push(sim.add_node(Box::new(TcpSender::new(TcpConfig {
+                flow,
+                cc,
+                rwnd_packets,
+                data_link,
+                limit_packets: None,
+            }))));
+            receivers.push(sim.add_node(Box::new(TcpReceiver::new(flow, ack_link))));
+        }
+        Self { senders, receivers }
+    }
+
+    /// Starts every connection.
+    pub fn start_all(&self, sim: &mut Simulator) {
+        for &s in &self.senders {
+            sim.with_agent(s, |a, ctx| {
+                a.as_any_mut()
+                    .downcast_mut::<TcpSender>()
+                    .expect("sender node")
+                    .start(ctx)
+            });
+        }
+    }
+
+    /// Aggregate goodput across connections over `duration`, Mbps.
+    pub fn aggregate_goodput_mbps(&self, sim: &Simulator, duration: SimTime) -> f64 {
+        self.receivers
+            .iter()
+            .map(|&r| {
+                sim.agent_as::<TcpReceiver>(r)
+                    .meter
+                    .mean_mbps_over(duration)
+            })
+            .sum()
+    }
+
+    /// Aggregate retransmission rate across connections.
+    pub fn aggregate_retransmission_rate(&self, sim: &Simulator) -> f64 {
+        let (mut retx, mut sent) = (0u64, 0u64);
+        for &s in &self.senders {
+            let snd = sim.agent_as::<TcpSender>(s);
+            retx += snd.retransmissions();
+            sent += snd.packets_sent();
+        }
+        if sent == 0 {
+            0.0
+        } else {
+            retx as f64 / sent as f64
+        }
+    }
+}
+
+/// Fans packets out to per-flow endpoints: data packets to receivers,
+/// ACKs to senders, matched on `Packet::flow`.
+///
+/// A `Demux` sits at each end of the shared pipe pair, so many flows can
+/// share one bottleneck (exactly iPerf `-P` through one interface).
+pub struct Demux {
+    /// (flow, node) routing table; nodes receive via direct dispatch links.
+    routes: Vec<(u32, LinkId)>,
+}
+
+impl Demux {
+    /// Creates a demux with a routing table mapping flows to the loopback
+    /// links that reach each endpoint node.
+    pub fn new(routes: Vec<(u32, LinkId)>) -> Self {
+        Self { routes }
+    }
+}
+
+impl leo_netsim::Agent for Demux {
+    fn on_packet(
+        &mut self,
+        ctx: &mut leo_netsim::Context,
+        _link: LinkId,
+        packet: leo_netsim::Packet,
+    ) {
+        if let Some(&(_, out)) = self.routes.iter().find(|&&(f, _)| f == packet.flow) {
+            ctx.send(out, packet);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut leo_netsim::Context, _timer_id: u64) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Builds the full iPerf `-P n` topology over one bottleneck:
+/// `senders → demux_in → [bottleneck pipe] → demux_out → receivers`, with
+/// ACKs returning over a reverse pipe. Returns the handles.
+///
+/// `mk_data_pipe` / `mk_ack_pipe` create the shared pipes (called once
+/// each).
+pub fn install_with_demux(
+    sim: &mut Simulator,
+    n: usize,
+    cc: CcAlgorithm,
+    rwnd_packets: u64,
+    mk_data_pipe: impl FnOnce() -> Box<dyn leo_netsim::Pipe>,
+    mk_ack_pipe: impl FnOnce() -> Box<dyn leo_netsim::Pipe>,
+) -> ParallelTcp {
+    // Nodes are created first with placeholder link ids, then links are
+    // wired in a fixed order so ids are predictable:
+    //   link 0: senders → receiver-side demux (the data bottleneck)
+    //   link 1: receivers → sender-side demux (the ACK path)
+    //   links 2..2+n: receiver-side demux → receiver i (instant)
+    //   links 2+n..2+2n: sender-side demux → sender i (instant)
+    let base_flow = 1;
+    let handles = ParallelTcp::install(sim, n, base_flow, cc, rwnd_packets, LinkId(0), LinkId(1));
+
+    let rx_routes: Vec<(u32, LinkId)> = (0..n)
+        .map(|i| (base_flow + i as u32, LinkId(2 + i)))
+        .collect();
+    let tx_routes: Vec<(u32, LinkId)> = (0..n)
+        .map(|i| (base_flow + i as u32, LinkId(2 + n + i)))
+        .collect();
+    let demux_rx = sim.add_node(Box::new(Demux::new(rx_routes)));
+    let demux_tx = sim.add_node(Box::new(Demux::new(tx_routes)));
+
+    let data = sim.add_link(mk_data_pipe(), demux_rx);
+    assert_eq!(data, LinkId(0));
+    let ack = sim.add_link(mk_ack_pipe(), demux_tx);
+    assert_eq!(ack, LinkId(1));
+    for i in 0..n {
+        let l = sim.add_link(instant_pipe(), handles.receivers[i]);
+        assert_eq!(l, LinkId(2 + i));
+    }
+    for i in 0..n {
+        let l = sim.add_link(instant_pipe(), handles.senders[i]);
+        assert_eq!(l, LinkId(2 + n + i));
+    }
+    handles
+}
+
+/// An effectively-transparent pipe for demux-to-endpoint dispatch.
+fn instant_pipe() -> Box<dyn leo_netsim::Pipe> {
+    Box::new(leo_netsim::ConstPipe::new(
+        1e9,
+        SimTime::ZERO,
+        0.0,
+        u64::MAX,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_netsim::ConstPipe;
+
+    fn run_parallel(n: usize, loss: f64, secs: u64) -> f64 {
+        let mut sim = Simulator::new(5);
+        let handles = install_with_demux(
+            &mut sim,
+            n,
+            CcAlgorithm::Cubic,
+            4096,
+            || {
+                Box::new(ConstPipe::new(
+                    100.0,
+                    SimTime::from_millis(30),
+                    loss,
+                    400_000,
+                ))
+            },
+            || {
+                Box::new(ConstPipe::new(
+                    100.0,
+                    SimTime::from_millis(30),
+                    0.0,
+                    400_000,
+                ))
+            },
+        );
+        handles.start_all(&mut sim);
+        sim.run_until(SimTime::from_secs(secs));
+        handles.aggregate_goodput_mbps(&sim, SimTime::from_secs(secs))
+    }
+
+    #[test]
+    fn parallelism_recovers_lossy_link_throughput() {
+        // The Figure 7 mechanism: on a lossy link, 4 connections beat 1.
+        let one = run_parallel(1, 0.01, 12);
+        let four = run_parallel(4, 0.01, 12);
+        assert!(
+            four > one * 1.4,
+            "4P {four} Mbps should clearly beat 1P {one} Mbps"
+        );
+    }
+
+    #[test]
+    fn parallelism_gains_little_on_clean_link() {
+        let one = run_parallel(1, 0.0, 12);
+        let four = run_parallel(4, 0.0, 12);
+        assert!(
+            four < one * 1.35,
+            "clean link: 4P {four} vs 1P {one} should be comparable"
+        );
+    }
+
+    #[test]
+    fn flows_share_reasonably_fairly() {
+        let mut sim = Simulator::new(5);
+        let handles = install_with_demux(
+            &mut sim,
+            3,
+            CcAlgorithm::Reno,
+            4096,
+            || Box::new(ConstPipe::new(60.0, SimTime::from_millis(20), 0.0, 300_000)),
+            || Box::new(ConstPipe::new(60.0, SimTime::from_millis(20), 0.0, 300_000)),
+        );
+        handles.start_all(&mut sim);
+        sim.run_until(SimTime::from_secs(15));
+        let rates: Vec<f64> = handles
+            .receivers
+            .iter()
+            .map(|&r| {
+                sim.agent_as::<crate::tcp::TcpReceiver>(r)
+                    .meter
+                    .mean_mbps_over(SimTime::from_secs(15))
+            })
+            .collect();
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min.max(0.1) < 4.0, "unfair shares: {rates:?}");
+    }
+
+    #[test]
+    fn aggregate_retransmissions_counted() {
+        let mut sim = Simulator::new(5);
+        let handles = install_with_demux(
+            &mut sim,
+            2,
+            CcAlgorithm::Cubic,
+            4096,
+            || {
+                Box::new(ConstPipe::new(
+                    50.0,
+                    SimTime::from_millis(25),
+                    0.02,
+                    200_000,
+                ))
+            },
+            || Box::new(ConstPipe::new(50.0, SimTime::from_millis(25), 0.0, 200_000)),
+        );
+        handles.start_all(&mut sim);
+        sim.run_until(SimTime::from_secs(10));
+        let retx = handles.aggregate_retransmission_rate(&sim);
+        assert!(retx > 0.01, "retx {retx}");
+    }
+}

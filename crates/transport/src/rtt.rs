@@ -1,0 +1,117 @@
+//! RFC 6298 round-trip-time estimation.
+
+use leo_netsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The classic SRTT/RTTVAR estimator with RFC 6298 constants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    /// Lower bound on the computed RTO.
+    min_rto: f64,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the Linux-like 200 ms minimum RTO.
+    pub fn new() -> Self {
+        Self {
+            srtt: None,
+            rttvar: 0.0,
+            min_rto: 0.200,
+        }
+    }
+
+    /// Feeds one RTT sample.
+    pub fn on_sample(&mut self, rtt: SimTime) {
+        let r = rtt.as_secs_f64();
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                // RFC 6298: β=1/4, α=1/8.
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+    }
+
+    /// Smoothed RTT; `None` before the first sample.
+    pub fn srtt(&self) -> Option<SimTime> {
+        self.srtt.map(SimTime::from_secs_f64)
+    }
+
+    /// Smoothed RTT in seconds, defaulting to 1 s before the first sample
+    /// (RFC 6298's initial RTO).
+    pub fn srtt_or_default_s(&self) -> f64 {
+        self.srtt.unwrap_or(1.0)
+    }
+
+    /// Retransmission timeout: `SRTT + 4·RTTVAR`, floored at the minimum.
+    pub fn rto(&self) -> SimTime {
+        let rto = match self.srtt {
+            None => 1.0,
+            Some(srtt) => srtt + (4.0 * self.rttvar).max(0.010),
+        };
+        SimTime::from_secs_f64(rto.max(self.min_rto))
+    }
+
+    /// Back-off: doubles an RTO value, capped at 60 s.
+    pub fn backoff(rto: SimTime) -> SimTime {
+        SimTime::from_secs_f64((rto.as_secs_f64() * 2.0).min(60.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = RttEstimator::new();
+        assert!(e.srtt().is_none());
+        assert_eq!(e.rto(), SimTime::from_secs(1));
+        e.on_sample(SimTime::from_millis(100));
+        assert_eq!(e.srtt().unwrap().as_millis(), 100);
+        // RTO = 100 ms + 4·50 ms = 300 ms.
+        assert_eq!(e.rto().as_millis(), 300);
+    }
+
+    #[test]
+    fn converges_to_constant_rtt() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.on_sample(SimTime::from_millis(60));
+        }
+        let srtt = e.srtt().unwrap().as_millis();
+        assert!((59..=61).contains(&srtt), "srtt {srtt}");
+        // Variance decays; RTO approaches the 200 ms floor.
+        assert_eq!(e.rto().as_millis(), 200);
+    }
+
+    #[test]
+    fn jittery_samples_raise_rto() {
+        let mut e = RttEstimator::new();
+        for i in 0..50 {
+            let ms = if i % 2 == 0 { 40 } else { 160 };
+            e.on_sample(SimTime::from_millis(ms));
+        }
+        assert!(e.rto().as_millis() > 250, "rto {}", e.rto().as_millis());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let r = SimTime::from_secs(1);
+        assert_eq!(RttEstimator::backoff(r).as_millis(), 2000);
+        let big = SimTime::from_secs(50);
+        assert_eq!(RttEstimator::backoff(big).as_millis(), 60_000);
+    }
+}

@@ -1,0 +1,84 @@
+//! Per-second throughput accounting.
+
+use leo_netsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Buckets delivered bytes into one-second bins — the shape iPerf reports
+/// and the shape the paper's throughput traces (Figures 1, 11) use.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    bytes_per_sec: Vec<u64>,
+    total_bytes: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` delivered at `at`.
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        let sec = (at.as_nanos() / 1_000_000_000) as usize;
+        if self.bytes_per_sec.len() <= sec {
+            self.bytes_per_sec.resize(sec + 1, 0);
+        }
+        self.bytes_per_sec[sec] += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// Total delivered bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Per-second throughput in Mbps, one entry per elapsed second.
+    pub fn series_mbps(&self) -> Vec<f64> {
+        self.bytes_per_sec
+            .iter()
+            .map(|&b| b as f64 * 8.0 / 1e6)
+            .collect()
+    }
+
+    /// Mean throughput over `duration`, Mbps.
+    pub fn mean_mbps_over(&self, duration: SimTime) -> f64 {
+        let secs = duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 * 8.0 / 1e6 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_second() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_millis(100), 1_000_000);
+        m.record(SimTime::from_millis(900), 500_000);
+        m.record(SimTime::from_millis(1100), 250_000);
+        let series = m.series_mbps();
+        assert_eq!(series.len(), 2);
+        assert!((series[0] - 12.0).abs() < 1e-9);
+        assert!((series[1] - 2.0).abs() < 1e-9);
+        assert_eq!(m.total_bytes(), 1_750_000);
+    }
+
+    #[test]
+    fn mean_over_duration() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_millis(500), 5_000_000);
+        assert!((m.mean_mbps_over(SimTime::from_secs(4)) - 10.0).abs() < 1e-9);
+        assert_eq!(m.mean_mbps_over(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn empty_meter() {
+        let m = ThroughputMeter::new();
+        assert!(m.series_mbps().is_empty());
+        assert_eq!(m.total_bytes(), 0);
+    }
+}

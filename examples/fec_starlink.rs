@@ -1,0 +1,86 @@
+//! Quantifies the paper's FEC suggestion: §1 notes Starlink's packet loss
+//! "calls for better congestion control or Forward Error Correction (FEC)
+//! algorithms tailored for such characteristics."
+//!
+//! This example streams UDP at a fixed rate over a Starlink-like link
+//! (random + bursty loss), with and without XOR-parity FEC at several
+//! group sizes, and reports effective delivery and overhead.
+//!
+//! ```sh
+//! cargo run --release --example fec_starlink
+//! ```
+
+use leo_cell::link::mahimahi::MahimahiTrace;
+use leo_cell::netsim::{ConstPipe, LinkId, SimTime, Simulator, TracePipe};
+use leo_cell::transport::fec::{FecBlaster, FecSink};
+
+/// One run: returns (effective delivery %, raw delivery %, overhead %).
+fn run(group_size: u64, bursty: bool, secs: u64) -> (f64, f64, f64) {
+    let mut sim = Simulator::new(17);
+    let sink = sim.add_node(Box::new(FecSink::new(1, group_size)));
+    let blaster = sim.add_node(Box::new(FecBlaster::new(
+        1,
+        LinkId(0),
+        30.0,
+        group_size,
+        SimTime::from_secs(secs),
+    )));
+    if bursty {
+        // Starlink-like: 0.4% base loss with a 30% loss second every 15 s
+        // (the obstruction/handover bursts behind Figure 5).
+        let losses: Vec<f64> = (0..secs)
+            .map(|t| if t % 15 == 0 { 0.30 } else { 0.004 })
+            .collect();
+        let trace = MahimahiTrace::from_capacity_series(&vec![100.0; secs as usize]);
+        sim.add_link(
+            Box::new(
+                TracePipe::new(trace, SimTime::from_millis(30), 1 << 20).with_loss_series(losses),
+            ),
+            sink,
+        );
+    } else {
+        // The same average loss, spread i.i.d.
+        sim.add_link(
+            Box::new(ConstPipe::new(
+                100.0,
+                SimTime::from_millis(30),
+                0.024,
+                1 << 20,
+            )),
+            sink,
+        );
+    }
+    sim.with_agent(blaster, |a, ctx| {
+        a.as_any_mut()
+            .downcast_mut::<FecBlaster>()
+            .expect("blaster")
+            .start(ctx)
+    });
+    sim.run_until(SimTime::from_secs(secs + 1));
+    let s = sim.agent_as::<FecSink>(sink);
+    let raw = s.data_received as f64 / (s.max_seq_seen + 1) as f64;
+    let overhead = 100.0 / group_size as f64;
+    (s.effective_delivery_rate() * 100.0, raw * 100.0, overhead)
+}
+
+fn main() {
+    println!("FEC over a Starlink-like lossy link (30 Mbps stream, 60 s)\n");
+    for (label, bursty) in [
+        ("i.i.d. loss (2.4%)", false),
+        ("bursty loss (same average)", true),
+    ] {
+        println!("{label}:");
+        println!(
+            "  {:<12} {:>10} {:>10} {:>10}",
+            "group size", "raw %", "FEC %", "overhead"
+        );
+        for k in [4u64, 8, 16, 32] {
+            let (eff, raw, ovh) = run(k, bursty, 60);
+            println!("  k = {k:<8} {raw:>9.2}% {eff:>9.2}% {ovh:>9.1}%");
+        }
+        println!();
+    }
+    println!("Reading: XOR parity nearly eliminates i.i.d. loss at modest overhead,");
+    println!("but bursty (obstruction-driven) loss defeats single-parity groups —");
+    println!("the paper's call for *tailored* FEC is exactly about this gap.");
+}

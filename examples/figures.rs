@@ -1,0 +1,57 @@
+//! Regenerates every figure of the paper and prints the terminal
+//! renderings — the reproduction's main deliverable.
+//!
+//! ```sh
+//! # Fast pass (5% campaign, seconds):
+//! cargo run --release --example figures
+//!
+//! # Paper-scale pass (full 3,800 km campaign, several minutes):
+//! cargo run --release --example figures -- --scale 1.0
+//!
+//! # One figure only:
+//! cargo run --release --example figures -- --only fig9
+//! ```
+
+use leo_cell::core::{all_figures, campaign};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05_f64)
+        .clamp(0.005, 1.0);
+    let seed = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let only = arg_value(&args, "--only");
+
+    eprintln!("Generating campaign at scale {scale} (seed {seed})…");
+    let start = std::time::Instant::now();
+    let c = campaign(scale, seed);
+    eprintln!(
+        "Campaign ready in {:.1?}: {}\n",
+        start.elapsed(),
+        c.summary().render()
+    );
+
+    for fig in all_figures() {
+        if let Some(ref id) = only {
+            if fig.id != id {
+                continue;
+            }
+        }
+        let t = std::time::Instant::now();
+        let out = (fig.render)(&c);
+        println!("{}", "=".repeat(78));
+        println!("{} — {}\n", fig.id, fig.title);
+        println!("{out}");
+        eprintln!("[{} rendered in {:.1?}]\n", fig.id, t.elapsed());
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -1,0 +1,97 @@
+//! Quickstart: a five-minute tour of the `leo-cell` stack.
+//!
+//! Builds a tiny measurement campaign — a short drive through the
+//! synthetic five-state corridor, all five networks traced — and prints
+//! the headline comparisons the paper is about.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use leo_cell::analysis::stats::mean;
+use leo_cell::core;
+use leo_cell::dataset::record::{NetworkId, TestKind};
+use leo_cell::link::condition::Direction;
+
+fn main() {
+    // A 5 % scale campaign: a ~200 km slice of the field trip.
+    println!("Generating a 5% scale campaign (use scale 1.0 for the full 3,800 km trip)…\n");
+    let campaign = core::campaign(0.05, 42);
+    println!("{}\n", campaign.summary().render());
+
+    // Per-network UDP downlink means — the coverage workhorse metric.
+    println!("Mean UDP downlink throughput per network:");
+    for n in NetworkId::ALL {
+        let samples: Vec<f64> = campaign
+            .records_where(|r| {
+                r.network == n && r.kind == TestKind::Udp && r.direction == Direction::Down
+            })
+            .iter()
+            .map(|r| r.mean_mbps)
+            .collect();
+        if let Some(m) = mean(&samples) {
+            println!(
+                "  {:<4} {m:>7.1} Mbps  ({} tests)",
+                n.label(),
+                samples.len()
+            );
+        }
+    }
+
+    // The paper's headline findings, as live numbers.
+    println!("\nHeadline findings (paper anchor in parentheses):");
+    println!(
+        "  Starlink UDP/TCP ratio:      {:>5.1}x  (≈5x)",
+        core::findings::starlink_udp_tcp_ratio(&campaign)
+    );
+    println!(
+        "  Mobility/Roam ratio:         {:>5.1}x  (≈2x)",
+        core::findings::mobility_roam_ratio(&campaign)
+    );
+    println!(
+        "  Starlink down/up ratio:      {:>5.1}x  (≈10x)",
+        core::findings::starlink_down_up_ratio(&campaign)
+    );
+    let (mob_rtt, cell_rtt) = core::findings::latency_comparison(&campaign);
+    println!("  RTT: MOB {mob_rtt:.0} ms vs best cellular {cell_rtt:.0} ms  (similar, 50-100 ms)");
+    println!(
+        "  Urban/rural crossover holds: {}",
+        core::findings::area_crossover_holds(&campaign)
+    );
+
+    // The §4.1 cost argument: which applications does each plan satisfy?
+    println!("\nApplication satisfaction (UDP downlink samples + ping RTTs):");
+    let catalogue = leo_cell::analysis::apps::default_catalogue();
+    for n in [NetworkId::Roam, NetworkId::Mobility] {
+        let rtt = {
+            let v: Vec<f64> = campaign
+                .records_where(|r| r.network == n && r.mean_rtt_ms.is_some())
+                .iter()
+                .filter_map(|r| r.mean_rtt_ms)
+                .collect();
+            mean(&v).unwrap_or(70.0)
+        };
+        let samples: Vec<(f64, f64)> = campaign
+            .records_where(|r| {
+                r.network == n && r.kind == TestKind::Udp && r.direction == Direction::Down
+            })
+            .iter()
+            .map(|r| (r.mean_mbps, rtt))
+            .collect();
+        let table = leo_cell::analysis::apps::satisfaction_table(&catalogue, &samples);
+        print!("  {:<4}", n.label());
+        for (name, frac) in &table {
+            if name.contains("1080p") || name.contains("4K") || name.contains("gaming") {
+                print!("  {name}: {:>3.0}%", frac * 100.0);
+            }
+        }
+        println!();
+    }
+
+    // One figure, rendered.
+    println!(
+        "\n{}",
+        leo_cell::core::fig1::render(&leo_cell::core::fig1::run(&campaign))
+    );
+    println!("Run `cargo run --release --example figures` to regenerate every figure.");
+}

@@ -1,0 +1,30 @@
+//! `leo-cell` — umbrella crate for the reproduction of *LEO Satellite vs.
+//! Cellular Networks: Exploring the Potential for Synergistic Integration*
+//! (CoNEXT Companion '23).
+//!
+//! This crate re-exports every subsystem so examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`geo`] — geodesy, routes, places, area classification
+//! * [`orbit`] — Starlink-like LEO constellation, visibility, dish plans
+//! * [`cellular`] — carrier deployments, path loss, RAT selection
+//! * [`link`] — link-condition time series and Mahimahi-format traces
+//! * [`netsim`] — deterministic discrete-event emulator (MpShell substitute)
+//! * [`transport`] — TCP (Reno/CUBIC), UDP, parallel TCP, MPTCP + schedulers
+//! * [`measure`] — iPerf-like, UDP-Ping, and tracker measurement tools
+//! * [`dataset`] — the synthetic driving-campaign dataset
+//! * [`analysis`] — CDFs, coverage levels, box stats, terminal plots
+//! * [`core`] — one module per paper figure, regenerating each experiment
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use leo_analysis as analysis;
+pub use leo_cellular as cellular;
+pub use leo_core as core;
+pub use leo_dataset as dataset;
+pub use leo_geo as geo;
+pub use leo_link as link;
+pub use leo_measure as measure;
+pub use leo_netsim as netsim;
+pub use leo_orbit as orbit;
+pub use leo_transport as transport;

@@ -1,0 +1,105 @@
+//! Cross-crate integration of the emulation stack: link traces from the
+//! world models, replayed through `leo-netsim`, driven by `leo-transport`
+//! via `leo-measure` — the §6 pipeline without the campaign layer.
+
+use leo_cell::core::mptcp_emu::{run_mptcp, run_single_path, BufferTuning};
+use leo_cell::geo::area::AreaType;
+use leo_cell::geo::drive::{DayPhase, EnvironmentSample, Weather};
+use leo_cell::geo::point::GeoPoint;
+use leo_cell::link::trace::LinkTrace;
+use leo_cell::measure::iperf::{Engine, IperfConfig, IperfRunner};
+use leo_cell::orbit::dish::DishPlan;
+use leo_cell::orbit::model::{StarlinkLinkModel, StarlinkModelConfig};
+use leo_cell::transport::mptcp::SchedulerKind;
+
+fn rural_drive(len_s: u64) -> (Vec<EnvironmentSample>, Vec<AreaType>) {
+    let samples: Vec<EnvironmentSample> = (0..len_s)
+        .map(|t| EnvironmentSample {
+            t_s: t,
+            position: GeoPoint::new(43.9, -99.5).destination(90.0, t as f64 * 0.025),
+            speed_kmh: 90.0,
+            heading_deg: 90.0,
+            day_phase: DayPhase::Day,
+            weather: Weather::Clear,
+            travelled_km: t as f64 * 0.025,
+        })
+        .collect();
+    let areas = vec![AreaType::Rural; samples.len()];
+    (samples, areas)
+}
+
+fn starlink_trace(plan: DishPlan, len_s: u64) -> LinkTrace {
+    let (samples, areas) = rural_drive(len_s);
+    StarlinkLinkModel::new(StarlinkModelConfig::for_plan(plan))
+        .trace_for_drive(&samples, &areas)
+        .0
+}
+
+#[test]
+fn orbit_trace_feeds_packet_level_iperf() {
+    let trace = starlink_trace(DishPlan::Mobility, 20);
+    let analytic = IperfRunner::new(IperfConfig::udp_down()).run(&trace);
+    let packet =
+        IperfRunner::new(IperfConfig::udp_down().with_engine(Engine::PacketLevel)).run(&trace);
+    assert!(analytic.mean_mbps > 50.0, "analytic {}", analytic.mean_mbps);
+    assert!(packet.mean_mbps > 30.0, "packet {}", packet.mean_mbps);
+    // The engines agree within a factor band on the same trace.
+    let ratio = packet.mean_mbps / analytic.mean_mbps;
+    assert!(
+        (0.5..1.4).contains(&ratio),
+        "engines disagree: packet {} vs analytic {}",
+        packet.mean_mbps,
+        analytic.mean_mbps
+    );
+}
+
+#[test]
+fn starlink_tcp_packet_level_shows_loss_collapse() {
+    // The full mechanism end to end: orbit model loss → TracePipe loss
+    // series → CUBIC collapse. TCP must land well below UDP.
+    let trace = starlink_trace(DishPlan::Mobility, 25);
+    let udp =
+        IperfRunner::new(IperfConfig::udp_down().with_engine(Engine::PacketLevel)).run(&trace);
+    let tcp = IperfRunner::new(IperfConfig::tcp_down_starlink(1).with_engine(Engine::PacketLevel))
+        .run(&trace);
+    assert!(
+        tcp.mean_mbps < udp.mean_mbps * 0.75,
+        "packet-level TCP {} vs UDP {}",
+        tcp.mean_mbps,
+        udp.mean_mbps
+    );
+    assert!(tcp.retrans_rate > 0.001, "retrans {}", tcp.retrans_rate);
+}
+
+#[test]
+fn mptcp_over_model_traces_pools_capacity() {
+    let mob = starlink_trace(DishPlan::Mobility, 30);
+    // A synthetic steady cellular path as the second subflow.
+    let cell = LinkTrace::new(
+        "VZ",
+        0,
+        vec![leo_cell::link::condition::LinkCondition::new(60.0, 45.0, 0.0005); 30],
+    );
+    let single_mob = run_single_path(&mob, 11).mean_mbps;
+    let single_cell = run_single_path(&cell, 11).mean_mbps;
+    let mp = run_mptcp(&mob, &cell, SchedulerKind::Blest, BufferTuning::Tuned, 11).mean_mbps;
+    let better = single_mob.max(single_cell);
+    assert!(
+        mp > better,
+        "MPTCP {mp} vs best single {better} (mob {single_mob}, cell {single_cell})"
+    );
+}
+
+#[test]
+fn roam_trace_is_slower_than_mobility_trace_through_the_whole_stack() {
+    let rm = starlink_trace(DishPlan::Roam, 25);
+    let mob = starlink_trace(DishPlan::Mobility, 25);
+    let rm_rate = IperfRunner::new(IperfConfig::udp_down()).run(&rm).mean_mbps;
+    let mob_rate = IperfRunner::new(IperfConfig::udp_down())
+        .run(&mob)
+        .mean_mbps;
+    assert!(
+        mob_rate > rm_rate * 1.3,
+        "MOB {mob_rate} vs RM {rm_rate} through the full stack"
+    );
+}

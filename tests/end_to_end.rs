@@ -1,0 +1,129 @@
+//! End-to-end integration: world → campaign → analysis → figures.
+//!
+//! These tests drive the whole stack exactly as the `figures` example
+//! does, at a small scale, and assert the paper's qualitative results
+//! survive the full pipeline (not just the per-crate unit paths).
+
+use leo_cell::core;
+use leo_cell::dataset::campaign::Campaign;
+use leo_cell::dataset::record::{NetworkId, TestKind};
+use leo_cell::link::condition::Direction;
+use std::sync::OnceLock;
+
+/// One shared medium-scale campaign: enough drive to reach rural country
+/// and fill every (network, kind) slot, generated once for the whole file.
+fn shared_campaign() -> &'static Campaign {
+    static C: OnceLock<Campaign> = OnceLock::new();
+    C.get_or_init(|| core::campaign(0.15, 4242))
+}
+
+#[test]
+fn campaign_schedules_all_network_kind_pairs() {
+    let c = shared_campaign();
+    // The nested scheduling must give every network every test kind.
+    for n in NetworkId::ALL {
+        for kind in [TestKind::Udp, TestKind::Tcp { parallel: 1 }, TestKind::Ping] {
+            assert!(
+                c.records.iter().any(|r| r.network == n && r.kind == kind),
+                "missing ({n}, {kind:?}) tests"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_figure_renders_from_one_campaign() {
+    let c = shared_campaign();
+    for fig in core::all_figures() {
+        let out = (fig.render)(c);
+        assert!(out.len() > 40, "{} output too small", fig.id);
+    }
+}
+
+#[test]
+fn figure3_summary_shape_matches_paper() {
+    let c = shared_campaign();
+    let d = core::fig3::run(c);
+    let mean = |sets: &[core::fig3::LabelledSamples], label: &str| {
+        sets.iter()
+            .find(|s| s.label == label)
+            .and_then(|s| leo_cell::analysis::stats::mean(&s.mbps))
+            .unwrap_or(0.0)
+    };
+    // Panel a orderings.
+    let mob_udp = mean(&d.tcp_vs_udp, "MOB-UDP");
+    let mob_tcp = mean(&d.tcp_vs_udp, "MOB-TCP");
+    let cell_udp = mean(&d.tcp_vs_udp, "Cellular-UDP");
+    let cell_tcp = mean(&d.tcp_vs_udp, "Cellular-TCP");
+    assert!(
+        mob_udp > 2.0 * mob_tcp,
+        "MOB UDP {mob_udp} vs TCP {mob_tcp}"
+    );
+    assert!(
+        cell_tcp > 0.6 * cell_udp,
+        "cellular TCP {cell_tcp} vs UDP {cell_udp}"
+    );
+    // Starlink TCP suffers more than cellular TCP in relative terms.
+    let sl_eff = mob_tcp / mob_udp.max(1e-9);
+    let cl_eff = cell_tcp / cell_udp.max(1e-9);
+    assert!(
+        sl_eff < cl_eff,
+        "TCP efficiency: starlink {sl_eff} vs cellular {cl_eff}"
+    );
+}
+
+#[test]
+fn udp_downlink_means_are_in_paper_regime() {
+    // Mobility UDP downlink mean ≈ 128 Mbps (paper), Roam ≈ 63. Allow a
+    // generous band — the substrate is synthetic — but keep the order of
+    // magnitude and the MOB > RM ordering.
+    let c = shared_campaign();
+    let mean_of = |n: NetworkId| {
+        let v: Vec<f64> = c
+            .records_where(|r| {
+                r.network == n && r.kind == TestKind::Udp && r.direction == Direction::Down
+            })
+            .iter()
+            .map(|r| r.mean_mbps)
+            .collect();
+        leo_cell::analysis::stats::mean(&v).unwrap_or(0.0)
+    };
+    let mob = mean_of(NetworkId::Mobility);
+    let rm = mean_of(NetworkId::Roam);
+    assert!(
+        (70.0..220.0).contains(&mob),
+        "MOB UDP mean {mob} (paper 128)"
+    );
+    assert!((30.0..120.0).contains(&rm), "RM UDP mean {rm} (paper 63)");
+    assert!(mob > rm * 1.4, "MOB {mob} vs RM {rm}");
+}
+
+#[test]
+fn summary_matches_paper_structure_at_scale() {
+    let c = shared_campaign();
+    let s = c.summary();
+    assert_eq!(s.networks, 5);
+    assert!(s.tests >= 50, "tests {}", s.tests);
+    // Area mix: every type present, none dominant beyond the paper's
+    // roughly-equal thirds.
+    for (label, frac) in [
+        ("urban", s.urban_frac),
+        ("suburban", s.suburban_frac),
+        ("rural", s.rural_frac),
+    ] {
+        assert!(
+            (0.05..0.75).contains(&frac),
+            "{label} fraction {frac} out of regime"
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_full_pipeline() {
+    let a = core::campaign(0.03, 7);
+    let b = core::campaign(0.03, 7);
+    assert_eq!(a.records, b.records);
+    let fa = core::fig9::run(&a);
+    let fb = core::fig9::run(&b);
+    assert_eq!(format!("{fa:?}"), format!("{fb:?}"));
+}

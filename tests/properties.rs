@@ -1,0 +1,118 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs, spanning crate boundaries.
+
+use leo_cell::link::condition::LinkCondition;
+use leo_cell::link::mahimahi::MahimahiTrace;
+use leo_cell::link::trace::LinkTrace;
+use leo_cell::measure::iperf::{IperfConfig, IperfRunner};
+use leo_cell::netsim::{ConstPipe, Pipe, SimTime};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Mahimahi conversion preserves long-run rate for arbitrary capacity
+    /// series (to_capacity_series ∘ from_capacity_series ≈ id in total
+    /// volume).
+    #[test]
+    fn mahimahi_round_trip_preserves_volume(caps in prop::collection::vec(0.0..300.0f64, 1..40)) {
+        let trace = MahimahiTrace::from_capacity_series(&caps);
+        let back = trace.to_capacity_series();
+        let vol_in: f64 = caps.iter().sum();
+        let vol_out: f64 = back.iter().sum();
+        // One MTU (0.012 Mbit) per second of quantisation slack.
+        prop_assert!((vol_in - vol_out).abs() <= 0.013 * caps.len() as f64 + 0.013,
+            "in {vol_in} vs out {vol_out}");
+    }
+
+    /// Pipe conservation: every offered packet is delivered exactly once
+    /// or dropped exactly once — never duplicated, never lost silently.
+    #[test]
+    fn pipe_conserves_packets(
+        rate in 0.5..200.0f64,
+        loss in 0.0..0.5f64,
+        queue in 3000u64..100_000,
+        n in 1usize..300,
+    ) {
+        let mut pipe = ConstPipe::new(rate, SimTime::from_millis(10), loss, queue);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            let _ = pipe.offer(1500, t, &mut rng);
+            t += SimTime::from_micros(200);
+        }
+        let s = pipe.stats();
+        prop_assert_eq!(s.offered_packets, n as u64);
+        prop_assert_eq!(s.offered_packets,
+            s.delivered_packets + s.dropped_random + s.dropped_queue);
+    }
+
+    /// Delivery times out of a pipe never decrease (FIFO).
+    #[test]
+    fn pipe_is_fifo(rate in 1.0..100.0f64, n in 2usize..100) {
+        let mut pipe = ConstPipe::new(rate, SimTime::from_millis(5), 0.0, u64::MAX);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut last = SimTime::ZERO;
+        for i in 0..n {
+            let t = SimTime::from_micros(137 * i as u64);
+            if let Some(d) = pipe.offer(1500, t, &mut rng) {
+                prop_assert!(d >= last, "delivery went backwards");
+                last = d;
+            }
+        }
+    }
+
+    /// The analytic iPerf engine never reports more UDP throughput than
+    /// link capacity, for arbitrary conditions.
+    #[test]
+    fn analytic_udp_bounded_by_capacity(
+        caps in prop::collection::vec(0.0..400.0f64, 1..30),
+        rtt in 5.0..200.0f64,
+        loss in 0.0..0.2f64,
+    ) {
+        let conditions: Vec<LinkCondition> = caps
+            .iter()
+            .map(|&c| LinkCondition::new(c, rtt, loss))
+            .collect();
+        let rep = IperfRunner::new(IperfConfig::udp_down()).run_analytic(&conditions);
+        for (got, cap) in rep.per_second_mbps.iter().zip(&caps) {
+            prop_assert!(*got <= cap + 1e-9, "udp {got} above capacity {cap}");
+        }
+    }
+
+    /// TCP analytic throughput is monotone non-increasing in loss.
+    #[test]
+    fn analytic_tcp_monotone_in_loss(cap in 20.0..300.0f64, rtt in 20.0..120.0f64) {
+        let rate = |loss: f64| {
+            let conditions = vec![LinkCondition::new(cap, rtt, loss); 10];
+            IperfRunner::new(IperfConfig::tcp_down_starlink(1))
+                .run_analytic(&conditions)
+                .mean_mbps
+        };
+        let r0 = rate(0.0005);
+        let r1 = rate(0.01);
+        let r2 = rate(0.05);
+        prop_assert!(r0 >= r1 - 1e-9);
+        prop_assert!(r1 >= r2 - 1e-9);
+    }
+
+    /// Windowing a trace then taking stats equals taking stats of the
+    /// slice directly.
+    #[test]
+    fn trace_window_consistency(
+        caps in prop::collection::vec(0.0..300.0f64, 4..50),
+        a_frac in 0.0..0.5f64,
+    ) {
+        let samples: Vec<LinkCondition> = caps
+            .iter()
+            .map(|&c| LinkCondition::new(c, 50.0, 0.0))
+            .collect();
+        let trace = LinkTrace::new("x", 100, samples);
+        let a = 100 + (a_frac * caps.len() as f64) as u64;
+        let b = 100 + caps.len() as u64;
+        let window = trace.window(a, b);
+        prop_assert_eq!(window.duration_s(), b - a);
+        prop_assert_eq!(window.samples(),
+            &trace.samples()[(a - 100) as usize..]);
+    }
+}
