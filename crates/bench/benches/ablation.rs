@@ -13,9 +13,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use leo_analysis::timeseries::fluctuation_index;
 use leo_bench::bench_campaign;
 use leo_core::mptcp_emu::{run_mptcp, run_single_path, BufferTuning};
-use leo_transport::cc::CcAlgorithm;
 use leo_dataset::record::NetworkId;
 use leo_measure::iperf::{Engine, IperfConfig, IperfRunner};
+use leo_transport::cc::CcAlgorithm;
 use leo_transport::mptcp::SchedulerKind;
 use std::hint::black_box;
 use std::sync::Once;
@@ -104,8 +104,10 @@ fn bench_cc_ablation(c: &mut Criterion) {
 
     static PRINT: Once = Once::new();
     PRINT.call_once(|| {
-        eprintln!("
-cc ablation (45 s Starlink window incl. channel loss):");
+        eprintln!(
+            "
+cc ablation (45 s Starlink window incl. channel loss):"
+        );
         for cc in [CcAlgorithm::Cubic, CcAlgorithm::BbrLite] {
             let runner = IperfRunner::new(
                 IperfConfig::tcp_down_starlink(1)
@@ -125,7 +127,9 @@ cc ablation (45 s Starlink window incl. channel loss):");
                 .with_cc(cc),
         );
         let mob = mob.clone();
-        g.bench_function(format!("{cc:?}"), |b| b.iter(|| black_box(runner.run(&mob))));
+        g.bench_function(format!("{cc:?}"), |b| {
+            b.iter(|| black_box(runner.run(&mob)))
+        });
     }
     g.finish();
 }

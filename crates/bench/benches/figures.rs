@@ -9,6 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use leo_bench::bench_campaign;
 use leo_core::{fig1, fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+use leo_dataset::campaign::campaign_threads;
 use std::hint::black_box;
 
 fn bench_fig01_motivation(c: &mut Criterion) {
@@ -100,8 +101,72 @@ fn bench_fig11_traces(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_figures_sweep(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    let mut g = c.benchmark_group("sweep");
+    // The statistical figures (1, 3–9) as one unit, swept sequentially
+    // and fanned out over `campaign_threads()` workers — the same
+    // parallelisation the `figures` example uses for its render pass.
+    g.bench_function("stat_figures_sequential", |b| {
+        b.iter(|| {
+            black_box(fig1::run(campaign));
+            black_box(fig3::run(campaign));
+            black_box(fig4::run(campaign));
+            black_box(fig5::run(campaign));
+            black_box(fig6::run(campaign));
+            black_box(fig7::run(campaign));
+            black_box(fig8::run(campaign));
+            black_box(fig9::run(campaign));
+        })
+    });
+    g.bench_function("stat_figures_parallel", |b| {
+        let jobs: Vec<fn(&leo_dataset::campaign::Campaign)> = vec![
+            |c| {
+                black_box(fig1::run(c));
+            },
+            |c| {
+                black_box(fig3::run(c));
+            },
+            |c| {
+                black_box(fig4::run(c));
+            },
+            |c| {
+                black_box(fig5::run(c));
+            },
+            |c| {
+                black_box(fig6::run(c));
+            },
+            |c| {
+                black_box(fig7::run(c));
+            },
+            |c| {
+                black_box(fig8::run(c));
+            },
+            |c| {
+                black_box(fig9::run(c));
+            },
+        ];
+        let workers = campaign_threads().min(jobs.len());
+        b.iter(|| {
+            crossbeam::thread::scope(|s| {
+                let jobs = &jobs;
+                for w in 0..workers {
+                    s.spawn(move |_| {
+                        for job in jobs.iter().skip(w).step_by(workers) {
+                            job(campaign);
+                        }
+                    });
+                }
+            })
+            .expect("sweep scope panicked")
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     figures,
+    bench_figures_sweep,
     bench_fig01_motivation,
     bench_fig03_throughput_cdfs,
     bench_fig04_latency,

@@ -7,18 +7,11 @@
 //! * `engine` — microbenchmarks of the substrates: event loop, pipes,
 //!   congestion-control steps, scheduler decisions, constellation sweeps.
 
-use leo_dataset::campaign::{Campaign, CampaignConfig};
-use std::sync::OnceLock;
+use leo_dataset::campaign::Campaign;
 
 /// A shared campaign so every figure bench measures *analysis* cost, not
-/// repeated world generation.
+/// repeated world generation. Served by the process-wide `(scale, seed)`
+/// cache in `leo-core`, so benches and tests in one process share it.
 pub fn bench_campaign() -> &'static Campaign {
-    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
-    CAMPAIGN.get_or_init(|| {
-        Campaign::generate(CampaignConfig {
-            scale: 0.1,
-            seed: 0xbe9c,
-            ..CampaignConfig::default()
-        })
-    })
+    leo_core::cached_campaign(0.1, 0xbe9c)
 }

@@ -64,11 +64,17 @@ impl Carrier {
     }
 
     /// Probability that a rural site carries low-band 5G (vs. LTE only).
+    ///
+    /// Kept well below the urban mid-band shares: most corridor and
+    /// small-town sites are LTE, which (with the 15 MHz carrier) is what
+    /// pulls rural cellular throughput below urban as in Figure 8 and
+    /// leaves the sub-50 Mbps rural windows Figure 9 reports even after
+    /// combining with Starlink.
     pub fn rural_lowband_share(&self) -> f64 {
         match self {
-            Carrier::Att => 0.30,
-            Carrier::TMobile => 0.62,
-            Carrier::Verizon => 0.52,
+            Carrier::Att => 0.22,
+            Carrier::TMobile => 0.45,
+            Carrier::Verizon => 0.38,
         }
     }
 

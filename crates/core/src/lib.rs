@@ -32,6 +32,9 @@ use leo_dataset::campaign::{Campaign, CampaignConfig};
 ///
 /// `scale` trades fidelity for runtime: 1.0 is the paper-scale field trip
 /// (use `--release`); 0.02 runs in seconds for tests.
+///
+/// Always generates afresh; use [`cached_campaign`] when several callers
+/// in one process want the same world.
 pub fn campaign(scale: f64, seed: u64) -> Campaign {
     Campaign::generate(CampaignConfig {
         scale,
@@ -40,23 +43,43 @@ pub fn campaign(scale: f64, seed: u64) -> Campaign {
     })
 }
 
+/// Process-wide campaign cache keyed by `(scale, seed)`.
+///
+/// Every fixture that previously kept its own `OnceLock` campaign (this
+/// crate's statistical tests, the end-to-end suite, the bench harness)
+/// goes through here, so a process never generates the same world twice.
+/// Entries are leaked: the cache only ever holds the handful of fixture
+/// configurations tests and benches use.
+pub fn cached_campaign(scale: f64, seed: u64) -> &'static Campaign {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    static CACHE: Mutex<BTreeMap<(u64, u64), &'static Campaign>> = Mutex::new(BTreeMap::new());
+    let key = (scale.to_bits(), seed);
+    // The lock is held across generation on purpose: two tests racing on
+    // the same key would otherwise both pay the (multi-second) build.
+    let mut cache = CACHE.lock().expect("campaign cache poisoned");
+    if let Some(c) = cache.get(&key) {
+        return c;
+    }
+    let c: &'static Campaign = Box::leak(Box::new(campaign(scale, seed)));
+    cache.insert(key, c);
+    c
+}
+
 /// Test fixtures shared across this crate's statistical tests.
 #[doc(hidden)]
 pub mod test_support {
     use super::*;
-    use std::sync::OnceLock;
 
     /// One cached medium-scale campaign so every statistical test reads
     /// the same world instead of regenerating it (campaign generation
     /// dominates test time otherwise).
     pub fn shared_campaign() -> &'static Campaign {
-        static C: OnceLock<Campaign> = OnceLock::new();
-        C.get_or_init(|| campaign(0.15, 42))
+        cached_campaign(0.15, 42)
     }
 
     /// A small cached campaign for smoke tests.
     pub fn small_campaign() -> &'static Campaign {
-        static C: OnceLock<Campaign> = OnceLock::new();
-        C.get_or_init(|| campaign(0.03, 7))
+        cached_campaign(0.03, 7)
     }
 }

@@ -1,5 +1,12 @@
 //! Campaign generation: drive the tour, trace every network, run the
 //! scheduled tests.
+//!
+//! Generation is parallel but deterministic: the per-network traces and
+//! the per-test records each own an RNG seed derived from the campaign
+//! seed (plus the network / test index), so splitting the work across
+//! any number of threads reorders no random draws. `Campaign::generate`
+//! at any `LEO_CAMPAIGN_THREADS` is byte-identical to the sequential
+//! path.
 
 use crate::record::{DriveRecord, NetworkId, TestKind};
 use crate::summary::DatasetSummary;
@@ -10,6 +17,7 @@ use leo_cellular::model::{CellularLinkModel, CellularModelConfig};
 use leo_geo::area::{AreaClassifier, AreaType};
 use leo_geo::drive::{DrivePlan, EnvironmentSample, Weather};
 use leo_geo::places::PlaceDb;
+use leo_geo::point::GeoPoint;
 use leo_link::condition::Direction;
 use leo_link::trace::LinkTrace;
 use leo_measure::iperf::{IperfConfig, IperfProtocol, IperfRunner};
@@ -20,6 +28,23 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Worker threads used by [`Campaign::generate`]: the
+/// `LEO_CAMPAIGN_THREADS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism. The thread
+/// count never changes the generated campaign, only how fast it arrives.
+pub fn campaign_threads() -> usize {
+    std::env::var("LEO_CAMPAIGN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(64)
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -77,14 +102,28 @@ pub struct Campaign {
 }
 
 impl Campaign {
-    /// Generates the full campaign from a configuration.
+    /// Generates the full campaign from a configuration, using
+    /// [`campaign_threads`] workers.
     pub fn generate(config: CampaignConfig) -> Self {
+        Self::generate_with_threads(config, campaign_threads())
+    }
+
+    /// [`Campaign::generate`] with an explicit worker count.
+    ///
+    /// The result is byte-identical for every `threads` value: each
+    /// network trace and each scheduled test derives its own RNG seed
+    /// from the campaign seed, so no thread interleaving can reorder
+    /// random draws (`deterministic_across_full_pipeline` and
+    /// `thread_count_does_not_change_campaign` pin this contract).
+    pub fn generate_with_threads(config: CampaignConfig, threads: usize) -> Self {
+        let threads = threads.max(1);
         let places = PlaceDb::five_state_corridor();
         let route = grand_tour(&places, config.scale);
         let corridor = route.waypoints();
         let classifier = AreaClassifier::new(places.clone());
 
-        // 1. Drive the tour.
+        // 1. Drive the tour. Inherently sequential: each second's vehicle
+        //    state depends on the previous one.
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let plan = DrivePlan::new(route).with_start_hour(8.0);
         let mut samples = plan.simulate(&mut rng, 60 * 60 * 24 * 14);
@@ -96,27 +135,13 @@ impl Campaign {
             .map(|s| classifier.classify(&s.position))
             .collect();
 
-        // 3. Trace every network over the same timeline.
-        let mut traces = BTreeMap::new();
-        for plan in DishPlan::ALL {
-            let mut cfg = StarlinkModelConfig::for_plan(plan);
-            cfg.seed = config.seed ^ 0x5a7e_0000;
-            let model = StarlinkLinkModel::new(cfg);
-            let (down, up) = model.trace_for_drive(&samples, &areas);
-            traces.insert(network_of_plan(plan), (down, up));
-        }
-        for carrier in Carrier::ALL {
-            let deployment =
-                Deployment::generate(carrier, &places, &corridor, config.seed ^ 0xce11);
-            let mut cfg = CellularModelConfig::for_carrier(carrier);
-            cfg.seed = config.seed ^ 0xce11_0001;
-            let model = CellularLinkModel::new(cfg, deployment);
-            let (down, up) = model.trace_for_drive(&samples, &areas);
-            traces.insert(network_of_carrier(carrier), (down, up));
-        }
+        // 3. Trace every network over the same timeline, one job per
+        //    network fanned out over scoped threads.
+        let traces = trace_all_networks(&config, &places, &corridor, &samples, &areas, threads);
 
-        // 4. Schedule and run the tests.
-        let records = schedule_and_run(&config, &samples, &areas, &traces);
+        // 4. Schedule and run the tests, split into contiguous index
+        //    chunks across the workers.
+        let records = schedule_and_run(&config, &samples, &areas, &traces, threads);
 
         Self {
             config,
@@ -156,18 +181,88 @@ fn apply_weather_schedule(samples: &mut [EnvironmentSample], seed: u64) {
     }
 }
 
-fn network_of_plan(plan: DishPlan) -> NetworkId {
-    match plan {
-        DishPlan::Roam => NetworkId::Roam,
-        DishPlan::Mobility => NetworkId::Mobility,
+/// Traces all five networks, distributing the per-network jobs
+/// round-robin over `threads` scoped workers. Every network seeds its
+/// own model, so the assignment of networks to threads is invisible in
+/// the output; the `BTreeMap` then fixes the iteration order.
+fn trace_all_networks(
+    config: &CampaignConfig,
+    places: &PlaceDb,
+    corridor: &[GeoPoint],
+    samples: &[EnvironmentSample],
+    areas: &[AreaType],
+    threads: usize,
+) -> BTreeMap<NetworkId, (LinkTrace, LinkTrace)> {
+    if threads <= 1 {
+        return NetworkId::ALL
+            .iter()
+            .map(|&n| {
+                (
+                    n,
+                    trace_network(n, config, places, corridor, samples, areas),
+                )
+            })
+            .collect();
     }
+    let workers = threads.min(NetworkId::ALL.len());
+    let traced: Vec<(NetworkId, (LinkTrace, LinkTrace))> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move |_| {
+                    NetworkId::ALL
+                        .iter()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|&n| {
+                            (
+                                n,
+                                trace_network(n, config, places, corridor, samples, areas),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("network tracer panicked"))
+            .collect()
+    })
+    .expect("trace scope panicked");
+    traced.into_iter().collect()
 }
 
-fn network_of_carrier(carrier: Carrier) -> NetworkId {
-    match carrier {
-        Carrier::Att => NetworkId::Att,
-        Carrier::TMobile => NetworkId::TMobile,
-        Carrier::Verizon => NetworkId::Verizon,
+/// Builds one network's aligned (downlink, uplink) traces. Pure function
+/// of `(config, world, network)` — the parallel fan-out relies on that.
+fn trace_network(
+    network: NetworkId,
+    config: &CampaignConfig,
+    places: &PlaceDb,
+    corridor: &[GeoPoint],
+    samples: &[EnvironmentSample],
+    areas: &[AreaType],
+) -> (LinkTrace, LinkTrace) {
+    match network {
+        NetworkId::Roam | NetworkId::Mobility => {
+            let plan = match network {
+                NetworkId::Roam => DishPlan::Roam,
+                _ => DishPlan::Mobility,
+            };
+            let mut cfg = StarlinkModelConfig::for_plan(plan);
+            cfg.seed = config.seed ^ 0x5a7e_0000;
+            StarlinkLinkModel::new(cfg).trace_for_drive(samples, areas)
+        }
+        NetworkId::Att | NetworkId::TMobile | NetworkId::Verizon => {
+            let carrier = match network {
+                NetworkId::Att => Carrier::Att,
+                NetworkId::TMobile => Carrier::TMobile,
+                _ => Carrier::Verizon,
+            };
+            let deployment = Deployment::generate(carrier, places, corridor, config.seed ^ 0xce11);
+            let mut cfg = CellularModelConfig::for_carrier(carrier);
+            cfg.seed = config.seed ^ 0xce11_0001;
+            CellularLinkModel::new(cfg, deployment).trace_for_drive(samples, areas)
+        }
     }
 }
 
@@ -192,8 +287,9 @@ fn schedule_and_run(
     samples: &[EnvironmentSample],
     areas: &[AreaType],
     traces: &BTreeMap<NetworkId, (LinkTrace, LinkTrace)>,
+    threads: usize,
 ) -> Vec<DriveRecord> {
-    let n_tests = config.test_count();
+    let n_tests = config.test_count() as usize;
     let duration = config.test_duration_s as u64;
     let timeline = samples.len() as u64;
     if timeline < duration + 1 {
@@ -203,56 +299,115 @@ fn schedule_and_run(
     // measured in the same window (the paper's phones ran side by side).
     let stride = ((timeline - duration) / (n_tests as u64).max(1)).max(1);
 
-    let mut records = Vec::with_capacity(n_tests as usize);
-    for i in 0..n_tests {
-        let t0 = (i as u64 * stride).min(timeline - duration);
-        // Nested cycles: the network advances every test, the test kind
-        // every full network rotation, so every (network, kind) pair
-        // occurs — a flat `i % len` on both would alias (5 divides 10).
-        let network = NetworkId::ALL[i as usize % NetworkId::ALL.len()];
-        let (kind, direction) = TEST_CYCLE[(i as usize / NetworkId::ALL.len()) % TEST_CYCLE.len()];
-        let (down, up) = &traces[&network];
-        let trace = match direction {
-            Direction::Down => down,
-            Direction::Up => up,
-        };
-        let window = trace.window(t0, t0 + duration);
-        let win_samples = &samples[t0 as usize..(t0 + duration) as usize];
-        let win_areas = &areas[t0 as usize..(t0 + duration) as usize];
-
-        let (mean_mbps, median_mbps, retrans, rtt) = run_test(network, kind, direction, &window);
-
-        let mid = &win_samples[win_samples.len() / 2];
-        records.push(DriveRecord {
-            test_id: i,
-            network,
-            kind,
-            direction,
-            t_start_s: t0,
-            duration_s: config.test_duration_s,
-            lat_deg: mid.position.lat_deg,
-            lon_deg: mid.position.lon_deg,
-            area: majority_area(win_areas),
-            mean_speed_kmh: win_samples.iter().map(|s| s.speed_kmh).sum::<f64>()
-                / win_samples.len() as f64,
-            mean_mbps,
-            median_mbps,
-            retrans_rate: retrans,
-            mean_rtt_ms: rtt,
-        });
+    if threads <= 1 || n_tests < 2 {
+        return (0..n_tests)
+            .map(|i| run_scheduled_test(config, samples, areas, traces, stride, i as u32))
+            .collect();
     }
-    records
+    // Contiguous chunks, reassembled in index order: record i is a pure
+    // function of (config, world, i), so chunking is invisible.
+    let workers = threads.min(n_tests);
+    let chunk = n_tests.div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n_tests);
+                s.spawn(move |_| {
+                    (lo..hi)
+                        .map(|i| {
+                            run_scheduled_test(config, samples, areas, traces, stride, i as u32)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("test runner panicked"))
+            .collect()
+    })
+    .expect("test scope panicked")
+}
+
+/// Runs scheduled test `i` and builds its record.
+fn run_scheduled_test(
+    config: &CampaignConfig,
+    samples: &[EnvironmentSample],
+    areas: &[AreaType],
+    traces: &BTreeMap<NetworkId, (LinkTrace, LinkTrace)>,
+    stride: u64,
+    i: u32,
+) -> DriveRecord {
+    let duration = config.test_duration_s as u64;
+    let timeline = samples.len() as u64;
+    let t0 = (i as u64 * stride).min(timeline - duration);
+    // Nested cycles: the network advances every test, the test kind
+    // every full network rotation, so every (network, kind) pair
+    // occurs — a flat `i % len` on both would alias (5 divides 10).
+    let network = NetworkId::ALL[i as usize % NetworkId::ALL.len()];
+    let (kind, direction) = TEST_CYCLE[(i as usize / NetworkId::ALL.len()) % TEST_CYCLE.len()];
+    let (down, up) = &traces[&network];
+    let trace = match direction {
+        Direction::Down => down,
+        Direction::Up => up,
+    };
+    let window = trace.window(t0, t0 + duration);
+    let win_samples = &samples[t0 as usize..(t0 + duration) as usize];
+    let win_areas = &areas[t0 as usize..(t0 + duration) as usize];
+
+    let seed = test_seed(config.seed, network, i);
+    let (mean_mbps, median_mbps, retrans, rtt) = run_test(kind, network, direction, &window, seed);
+
+    let mid = &win_samples[win_samples.len() / 2];
+    DriveRecord {
+        test_id: i,
+        network,
+        kind,
+        direction,
+        t_start_s: t0,
+        duration_s: config.test_duration_s,
+        lat_deg: mid.position.lat_deg,
+        lon_deg: mid.position.lon_deg,
+        area: majority_area(win_areas),
+        mean_speed_kmh: win_samples.iter().map(|s| s.speed_kmh).sum::<f64>()
+            / win_samples.len() as f64,
+        mean_mbps,
+        median_mbps,
+        retrans_rate: retrans,
+        mean_rtt_ms: rtt,
+    }
+}
+
+/// Per-test RNG seed: a SplitMix64-style mix of the campaign seed, the
+/// network, and the test index. Each test owns an independent stream, so
+/// results don't depend on which thread (or in which order) it runs.
+fn test_seed(campaign_seed: u64, network: NetworkId, test_id: u32) -> u64 {
+    let net = NetworkId::ALL
+        .iter()
+        .position(|&n| n == network)
+        .expect("network in ALL") as u64;
+    let mut z = campaign_seed ^ (net << 32) ^ test_id as u64;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 fn run_test(
-    network: NetworkId,
     kind: TestKind,
+    network: NetworkId,
     direction: Direction,
     window: &LinkTrace,
+    seed: u64,
 ) -> (f64, f64, f64, Option<f64>) {
     match kind {
         TestKind::Ping => {
-            let rep = UdpPing::default().run(window);
+            let rep = UdpPing {
+                seed,
+                ..UdpPing::default()
+            }
+            .run(window);
             (0.0, 0.0, rep.loss_rate(), rep.mean_rtt_ms())
         }
         TestKind::Udp => {
@@ -381,6 +536,34 @@ mod tests {
         let a = Campaign::generate(CampaignConfig::small());
         let b = Campaign::generate(CampaignConfig::small());
         assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_campaign() {
+        // The parallel-determinism contract: 1 worker and many workers
+        // produce byte-identical traces and records.
+        let seq = Campaign::generate_with_threads(CampaignConfig::small(), 1);
+        for threads in [2, 4, 7] {
+            let par = Campaign::generate_with_threads(CampaignConfig::small(), threads);
+            assert_eq!(seq.traces, par.traces, "traces differ at {threads} threads");
+            assert_eq!(
+                seq.records, par.records,
+                "records differ at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn test_seeds_are_distinct_per_test_and_network() {
+        let mut seen = std::collections::BTreeSet::new();
+        for net in NetworkId::ALL {
+            for i in 0..200u32 {
+                assert!(
+                    seen.insert(test_seed(42, net, i)),
+                    "collision at ({net}, {i})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -143,7 +143,10 @@ pub fn export_mahimahi(campaign: &crate::campaign::Campaign) -> Vec<(String, Str
     for (network, (down, up)) in &campaign.traces {
         for (dir, trace) in [("down", down), ("up", up)] {
             let mm = MahimahiTrace::from_link_trace(trace);
-            out.push((format!("{}_{dir}.mahi", network.label().to_lowercase()), mm.to_text()));
+            out.push((
+                format!("{}_{dir}.mahi", network.label().to_lowercase()),
+                mm.to_text(),
+            ));
         }
     }
     out

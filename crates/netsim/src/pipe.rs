@@ -182,7 +182,11 @@ impl TracePipe {
     }
 
     /// Attaches a per-second loss-probability series; second `i` of
-    /// simulation uses `series[i]` (clamped to the last entry thereafter).
+    /// simulation uses `series[i % len]` — the series repeats, mirroring
+    /// the Mahimahi delivery schedule's wrap-around, so a replay driven
+    /// past the trace end sees capacity and loss from the same second of
+    /// the original channel rather than period-0 capacity paired with the
+    /// final second's loss.
     pub fn with_loss_series(mut self, series: Vec<f64>) -> Self {
         self.loss_series = if series.is_empty() {
             None
@@ -197,7 +201,7 @@ impl TracePipe {
             None => 0.0,
             Some(s) => {
                 let idx = (now.as_nanos() / 1_000_000_000) as usize;
-                s[idx.min(s.len() - 1)].clamp(0.0, 1.0)
+                s[idx % s.len()].clamp(0.0, 1.0)
             }
         }
     }
@@ -248,6 +252,10 @@ impl Pipe for TracePipe {
         self.stats
     }
 
+    /// Unlike [`ConstPipe::queued_bytes`], the head packet *is* counted:
+    /// Mahimahi has no serialisation server — a packet sits in the queue
+    /// until its delivery opportunity dequeues it, so every undelivered
+    /// packet occupies queue space.
     fn queued_bytes(&self, now: SimTime) -> u64 {
         let horizon = now + self.delay;
         self.in_flight
@@ -368,9 +376,57 @@ mod tests {
         let mut r = rng();
         // Second 0: lossless.
         assert!(p.offer(1500, SimTime::from_millis(100), &mut r).is_some());
-        // Second 1 (and clamped beyond): certain loss.
+        // Second 1 (and every odd second after wrap-around): certain loss.
         assert!(p.offer(1500, SimTime::from_millis(1500), &mut r).is_none());
         assert!(p.offer(1500, SimTime::from_secs(7), &mut r).is_none());
+    }
+
+    #[test]
+    fn trace_pipe_loss_series_wraps_like_the_schedule() {
+        // Loss 1.0 in even seconds, 0.0 in odd ones. Past the series end
+        // the pattern must repeat (Mahimahi wrap-around), not freeze at
+        // the final entry — with the old clamp, second 2 would have used
+        // the last (lossless) entry and delivered.
+        let trace = MahimahiTrace::from_capacity_series(&[100.0; 2]);
+        let mut p = TracePipe::new(trace, SimTime::ZERO, u64::MAX).with_loss_series(vec![1.0, 0.0]);
+        let mut r = rng();
+        assert!(p.offer(1500, SimTime::from_millis(100), &mut r).is_none());
+        assert!(p.offer(1500, SimTime::from_millis(1100), &mut r).is_some());
+        // Wrapped: second 2 ≡ second 0 (lossy), second 3 ≡ second 1.
+        assert!(p.offer(1500, SimTime::from_millis(2100), &mut r).is_none());
+        assert!(p.offer(1500, SimTime::from_millis(3100), &mut r).is_some());
+    }
+
+    #[test]
+    fn const_pipe_gc_frees_queue_when_transmission_completes() {
+        // 12 Mbps → 1 ms per 1500-B packet; 100 ms propagation; queue
+        // limit 3000 B = one in service + two waiting.
+        let mut p = ConstPipe::new(12.0, SimTime::from_millis(100), 0.0, 3000);
+        let mut r = rng();
+        for _ in 0..3 {
+            assert!(p.offer(1500, SimTime::ZERO, &mut r).is_some());
+        }
+        assert!(p.offer(1500, SimTime::ZERO, &mut r).is_none(), "queue full");
+        // At t = 1 ms the first packet's *transmission* is done (delivery
+        // is only at 101 ms); its queue slot must be free already.
+        let e = p.offer(1500, SimTime::from_millis(1), &mut r);
+        assert_eq!(e.unwrap().as_millis(), 104); // tx 3→4 ms + 100 ms prop
+    }
+
+    #[test]
+    fn trace_pipe_counts_head_packet_against_queue() {
+        // No serialisation server in Mahimahi: a packet occupies the
+        // queue until its delivery opportunity, so with a 3000-B limit
+        // only two undelivered packets fit (ConstPipe would admit three).
+        let trace = MahimahiTrace::from_deliveries(vec![5, 10, 15, 20]);
+        let mut p = TracePipe::new(trace, SimTime::ZERO, 3000);
+        let mut r = rng();
+        assert!(p.offer(1500, SimTime::ZERO, &mut r).is_some());
+        assert!(p.offer(1500, SimTime::ZERO, &mut r).is_some());
+        assert!(p.offer(1500, SimTime::ZERO, &mut r).is_none());
+        assert_eq!(p.stats().dropped_queue, 1);
+        // Once the first opportunity (t = 5 ms) passes, space frees up.
+        assert!(p.offer(1500, SimTime::from_millis(6), &mut r).is_some());
     }
 
     #[test]

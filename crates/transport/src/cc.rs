@@ -279,10 +279,7 @@ impl BbrLite {
 
     /// Current bottleneck-bandwidth estimate, packets/s.
     pub fn btl_bw(&self) -> f64 {
-        self.bw_samples
-            .iter()
-            .map(|&(_, r)| r)
-            .fold(0.0, f64::max)
+        self.bw_samples.iter().map(|&(_, r)| r).fold(0.0, f64::max)
     }
 }
 

@@ -294,13 +294,15 @@ impl MptcpSender {
     }
 
     fn fastest_subflow(&self) -> usize {
+        // total_cmp instead of partial_cmp().expect(): a NaN smuggled in
+        // through a degenerate RTT sample must not panic the scheduler
+        // (NaN orders above every finite RTT, so it simply never wins).
         (0..self.subflows.len())
             .min_by(|&a, &b| {
                 self.subflows[a]
                     .core
                     .srtt_s()
-                    .partial_cmp(&self.subflows[b].core.srtt_s())
-                    .expect("RTTs are finite")
+                    .total_cmp(&self.subflows[b].core.srtt_s())
             })
             .expect("at least one subflow")
     }
@@ -333,8 +335,7 @@ impl MptcpSender {
                 self.subflows[a]
                     .core
                     .srtt_s()
-                    .partial_cmp(&self.subflows[b].core.srtt_s())
-                    .expect("RTTs are finite")
+                    .total_cmp(&self.subflows[b].core.srtt_s())
             }),
             SchedulerKind::Blest | SchedulerKind::Ecf | SchedulerKind::LeoAware => {
                 let fastest = self.fastest_subflow();
@@ -348,8 +349,7 @@ impl MptcpSender {
                         self.subflows[a]
                             .core
                             .srtt_s()
-                            .partial_cmp(&self.subflows[b].core.srtt_s())
-                            .expect("RTTs are finite")
+                            .total_cmp(&self.subflows[b].core.srtt_s())
                     })
                     .expect("non-empty");
                 let fast_core = &self.subflows[fastest].core;
@@ -700,12 +700,62 @@ mod tests {
     fn pools_two_clean_paths() {
         // 40 + 60 Mbps paths should aggregate well beyond either alone.
         for sched in SchedulerKind::ALL {
-            let (goodput, ..) = run_mptcp(Path { rate: 40.0, delay_ms: 20, loss: 0.0 }, Path { rate: 60.0, delay_ms: 35, loss: 0.0 }, sched, 16_384, 12);
+            let (goodput, ..) = run_mptcp(
+                Path {
+                    rate: 40.0,
+                    delay_ms: 20,
+                    loss: 0.0,
+                },
+                Path {
+                    rate: 60.0,
+                    delay_ms: 35,
+                    loss: 0.0,
+                },
+                sched,
+                16_384,
+                12,
+            );
             assert!(
                 goodput > 70.0,
                 "{sched:?}: pooled goodput {goodput} Mbps < 70"
             );
         }
+    }
+
+    #[test]
+    fn round_robin_alternates_across_equal_subflows() {
+        // Regression: `pick_subflow` reads `rr_next` from `&self`; the
+        // cursor is advanced by `try_send` after every pick. With two
+        // identical paths a broken cursor degenerates to one subflow,
+        // so require both subflows to carry a fair share of the data.
+        let (goodput, sim, sender, _) = run_mptcp(
+            Path {
+                rate: 50.0,
+                delay_ms: 20,
+                loss: 0.0,
+            },
+            Path {
+                rate: 50.0,
+                delay_ms: 20,
+                loss: 0.0,
+            },
+            SchedulerKind::RoundRobin,
+            16_384,
+            10,
+        );
+        let counters = sim.agent_as::<MptcpSender>(sender).subflow_counters();
+        let sent: Vec<u64> = counters.iter().map(|&(s, _)| s).collect();
+        let total: u64 = sent.iter().sum();
+        assert!(total > 0, "round-robin sent nothing");
+        for (i, &s) in sent.iter().enumerate() {
+            let share = s as f64 / total as f64;
+            assert!(
+                (0.40..=0.60).contains(&share),
+                "subflow {i} carried {share:.2} of packets ({sent:?}); \
+                 round-robin should alternate across equal subflows"
+            );
+        }
+        assert!(goodput > 70.0, "equal-path round-robin goodput {goodput}");
     }
 
     #[test]

@@ -55,10 +55,7 @@ fn main() -> std::io::Result<()> {
     for (name, text) in &mahi {
         std::fs::write(format!("traces/{name}"), text)?;
     }
-    println!(
-        "Exported {} Mahimahi traces to traces/*.mahi\n",
-        mahi.len()
-    );
+    println!("Exported {} Mahimahi traces to traces/*.mahi\n", mahi.len());
 
     // Per-area, per-network mean UDP downlink throughput (the Figure 8
     // aggregate, as a table).

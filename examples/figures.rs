@@ -13,6 +13,7 @@
 //! ```
 
 use leo_cell::core::{all_figures, campaign};
+use leo_cell::dataset::campaign::campaign_threads;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,18 +35,49 @@ fn main() {
         c.summary().render()
     );
 
-    for fig in all_figures() {
-        if let Some(ref id) = only {
-            if fig.id != id {
-                continue;
+    // Render every selected figure concurrently (each reads the shared
+    // campaign immutably), then print in the paper's figure order.
+    let figures: Vec<_> = all_figures()
+        .into_iter()
+        .filter(|fig| only.as_ref().is_none_or(|id| fig.id == id))
+        .collect();
+    let workers = campaign_threads().min(figures.len().max(1));
+    let rendered: Vec<(String, std::time::Duration)> = crossbeam::thread::scope(|s| {
+        let c = &c;
+        let figures = &figures;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move |_| {
+                    figures
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, fig)| {
+                            let t = std::time::Instant::now();
+                            (i, ((fig.render)(c), t.elapsed()))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out: Vec<Option<(String, std::time::Duration)>> = vec![None; figures.len()];
+        for h in handles {
+            for (i, r) in h.join().expect("figure renderer panicked") {
+                out[i] = Some(r);
             }
         }
-        let t = std::time::Instant::now();
-        let out = (fig.render)(&c);
+        out.into_iter()
+            .map(|r| r.expect("figure rendered"))
+            .collect()
+    })
+    .expect("figure scope panicked");
+
+    for (fig, (out, took)) in figures.iter().zip(rendered) {
         println!("{}", "=".repeat(78));
         println!("{} — {}\n", fig.id, fig.title);
         println!("{out}");
-        eprintln!("[{} rendered in {:.1?}]\n", fig.id, t.elapsed());
+        eprintln!("[{} rendered in {took:.1?}]\n", fig.id);
     }
 }
 

@@ -8,13 +8,12 @@ use leo_cell::core;
 use leo_cell::dataset::campaign::Campaign;
 use leo_cell::dataset::record::{NetworkId, TestKind};
 use leo_cell::link::condition::Direction;
-use std::sync::OnceLock;
 
 /// One shared medium-scale campaign: enough drive to reach rural country
-/// and fill every (network, kind) slot, generated once for the whole file.
+/// and fill every (network, kind) slot, generated once per process via
+/// the core campaign cache.
 fn shared_campaign() -> &'static Campaign {
-    static C: OnceLock<Campaign> = OnceLock::new();
-    C.get_or_init(|| core::campaign(0.15, 4242))
+    core::cached_campaign(0.15, 4242)
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Cross-crate property tests: invariants that must hold for arbitrary
 //! inputs, spanning crate boundaries.
 
+use leo_cell::dataset::campaign::{Campaign, CampaignConfig};
 use leo_cell::link::condition::LinkCondition;
 use leo_cell::link::mahimahi::MahimahiTrace;
 use leo_cell::link::trace::LinkTrace;
@@ -114,5 +115,27 @@ proptest! {
         prop_assert_eq!(window.duration_s(), b - a);
         prop_assert_eq!(window.samples(),
             &trace.samples()[(a - 100) as usize..]);
+    }
+}
+
+proptest! {
+    // Campaign generation is expensive, so this block runs fewer cases
+    // than the default 64; the seeds still vary run-structure enough to
+    // exercise every parallel code path.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel-determinism contract, for arbitrary seeds: campaign
+    /// generation with one worker and with several is byte-identical.
+    #[test]
+    fn campaign_thread_count_invariant_over_seeds(seed in 0u64..=u64::MAX, threads in 2usize..7) {
+        let cfg = CampaignConfig {
+            seed,
+            scale: 0.01,
+            ..CampaignConfig::default()
+        };
+        let sequential = Campaign::generate_with_threads(cfg.clone(), 1);
+        let parallel = Campaign::generate_with_threads(cfg, threads);
+        prop_assert_eq!(&sequential.traces, &parallel.traces);
+        prop_assert_eq!(&sequential.records, &parallel.records);
     }
 }

