@@ -1,0 +1,52 @@
+//! Scenario-engine benchmarks: the built-in sweep at one worker vs.
+//! several (the speedup the determinism contract makes free), plus the
+//! fault-injection layer alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_dataset::campaign::{Campaign, CampaignConfig};
+use leo_scenario::{apply_all, builtin, builtin_scenarios, ScenarioRunner};
+use std::hint::black_box;
+
+fn tiny_base() -> CampaignConfig {
+    CampaignConfig {
+        scale: 0.005,
+        seed: 0xbe_c4,
+        ..CampaignConfig::default()
+    }
+}
+
+fn bench_sweep_threads(c: &mut Criterion) {
+    let specs = builtin_scenarios();
+    let mut g = c.benchmark_group("scenario_sweep");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("builtin_library_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    ScenarioRunner::new(tiny_base())
+                        .with_threads(threads)
+                        .run(&specs),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_perturbation_layer(c: &mut Criterion) {
+    let base = Campaign::generate_with_threads(tiny_base(), 1);
+    let storm = builtin("handover-storm").expect("builtin");
+    let mut g = c.benchmark_group("scenario_perturb");
+    g.sample_size(10);
+    g.bench_function("handover_storm_apply", |b| {
+        b.iter(|| {
+            let mut campaign = base.clone();
+            apply_all(&mut campaign, &storm.perturbations);
+            black_box(campaign.records.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_threads, bench_perturbation_layer);
+criterion_main!(benches);

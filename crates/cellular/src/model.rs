@@ -175,7 +175,9 @@ impl CellularLinkModel {
             let lh = load_hash(self.config.seed, site.id, slot);
             let load_share = lo + (hi - lo) * lh;
 
-            // 4. Rate with fast fading.
+            // 4. Rate with fast fading, handover dips, and weather
+            // attenuation (§3.3: rain/snow affect both network types;
+            // the satellite model applies its own, stronger, factor).
             let fade = 1.0 + rng.gen_range(-0.12..0.12);
             let dip = if handover_dip > 0 {
                 handover_dip -= 1;
@@ -183,8 +185,9 @@ impl CellularLinkModel {
             } else {
                 1.0
             };
+            let weather = sample.weather.cellular_capacity_factor();
             let capacity_down =
-                (rate_mbps(site.rat, sinr, load_share) * fade * dip).clamp(0.0, 450.0);
+                (rate_mbps(site.rat, sinr, load_share) * fade * dip * weather).clamp(0.0, 450.0);
             let capacity_up =
                 (capacity_down * self.config.uplink_ratio * (1.0 + rng.gen_range(-0.15..0.15)))
                     .clamp(0.0, 60.0);
@@ -334,6 +337,41 @@ mod tests {
         let (down, up) = m.trace_for_drive(&s, &a);
         let ratio = up.stats().unwrap().mean_mbps / down.stats().unwrap().mean_mbps;
         assert!((0.12..0.35).contains(&ratio), "up/down ratio {ratio}");
+    }
+
+    #[test]
+    fn weather_attenuates_cellular_capacity() {
+        // §3.3: rain/snow affect both network types. The cellular model
+        // must apply `Weather::cellular_capacity_factor`, not just the
+        // satellite model its Ku-band factor: every rainy sample is the
+        // clear-sky sample scaled by exactly that factor (the RNG draw
+        // order is weather-independent), except where the 450 Mbps clamp
+        // binds.
+        let m = model(Carrier::Verizon);
+        let clear = drive_at(GeoPoint::new(41.88, -87.63), 400);
+        let mut rainy = clear.clone();
+        for s in &mut rainy {
+            s.weather = Weather::Rain;
+        }
+        let a = vec![AreaType::Urban; clear.len()];
+        let clear_down = m.trace_for_drive(&clear, &a).0;
+        let rain_down = m.trace_for_drive(&rainy, &a).0;
+        let factor = Weather::Rain.cellular_capacity_factor();
+        assert!(factor < 1.0, "rain must attenuate");
+        let mut compared = 0;
+        for (c, r) in clear_down.samples().iter().zip(rain_down.samples()) {
+            if c.is_outage() || c.capacity_mbps * factor >= 450.0 {
+                continue;
+            }
+            assert!(
+                (r.capacity_mbps - c.capacity_mbps * factor).abs() < 1e-9,
+                "rain {} vs clear {} * {factor}",
+                r.capacity_mbps,
+                c.capacity_mbps
+            );
+            compared += 1;
+        }
+        assert!(compared > 100, "only {compared} comparable samples");
     }
 
     #[test]

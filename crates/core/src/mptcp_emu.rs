@@ -18,7 +18,7 @@
 
 use leo_link::mahimahi::MahimahiTrace;
 use leo_link::trace::LinkTrace;
-use leo_netsim::{ConstPipe, LinkId, SimTime, Simulator, TracePipe};
+use leo_netsim::{ConstPipe, FaultPipe, FaultSchedule, LinkId, SimTime, Simulator, TracePipe};
 use leo_transport::cc::CcAlgorithm;
 use leo_transport::mptcp::{MptcpConfig, MptcpReceiver, MptcpSender, SchedulerKind};
 use leo_transport::tcp::{TcpConfig, TcpReceiver, TcpSender};
@@ -83,6 +83,25 @@ pub fn run_single_path(trace: &LinkTrace, seed: u64) -> EmulationResult {
 /// Downloads over a single path with an explicit congestion controller —
 /// the CC-ablation entry point (CUBIC vs. BBR-lite).
 pub fn run_single_path_cc(trace: &LinkTrace, seed: u64, cc: CcAlgorithm) -> EmulationResult {
+    run_single_path_impl(trace, seed, cc, &FaultSchedule::new())
+}
+
+/// [`run_single_path`] with a scheduled-fault overlay on the data path —
+/// the scenario engine's entry point for degraded solo downloads.
+pub fn run_single_path_faulted(
+    trace: &LinkTrace,
+    seed: u64,
+    faults: &FaultSchedule,
+) -> EmulationResult {
+    run_single_path_impl(trace, seed, CcAlgorithm::Cubic, faults)
+}
+
+fn run_single_path_impl(
+    trace: &LinkTrace,
+    seed: u64,
+    cc: CcAlgorithm,
+    faults: &FaultSchedule,
+) -> EmulationResult {
     let secs = trace.duration_s();
     let Some((data_pipe, ack_pipe, _)) = pipes_for(trace, 60_000) else {
         return EmulationResult {
@@ -90,6 +109,9 @@ pub fn run_single_path_cc(trace: &LinkTrace, seed: u64, cc: CcAlgorithm) -> Emul
             per_second_mbps: vec![0.0; secs as usize],
         };
     };
+    // An empty schedule makes FaultPipe bit-transparent (no extra RNG
+    // draws), so fault-free callers are unaffected by the wrapping.
+    let data_pipe = FaultPipe::new(data_pipe, faults.clone());
     let mut sim = Simulator::new(seed);
     let sender = sim.add_node(Box::new(TcpSender::new(TcpConfig {
         flow: 1,
@@ -125,6 +147,25 @@ pub fn run_mptcp(
     tuning: BufferTuning,
     seed: u64,
 ) -> EmulationResult {
+    let none = FaultSchedule::new();
+    run_mptcp_faulted(trace_a, trace_b, scheduler, tuning, seed, &none, &none)
+}
+
+/// [`run_mptcp`] with per-path scheduled-fault overlays on the data
+/// pipes — the §6 emulation under injected degradation (forced outages,
+/// loss bursts, delay spikes mid-download). Fault drops count as
+/// `dropped_fault`, so MPTCP sees them exactly like mid-path packet
+/// loss: RTO-driven reinjection must rescue stranded data.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mptcp_faulted(
+    trace_a: &LinkTrace,
+    trace_b: &LinkTrace,
+    scheduler: SchedulerKind,
+    tuning: BufferTuning,
+    seed: u64,
+    faults_a: &FaultSchedule,
+    faults_b: &FaultSchedule,
+) -> EmulationResult {
     assert_eq!(
         trace_a.duration_s(),
         trace_b.duration_s(),
@@ -136,6 +177,8 @@ pub fn run_mptcp(
     let pb = pipes_for(trace_b, 60_000);
     match (pa, pb) {
         (Some((da, aa, _)), Some((db, ab, _))) => {
+            let da = FaultPipe::new(da, faults_a.clone());
+            let db = FaultPipe::new(db, faults_b.clone());
             let mut sim = Simulator::new(seed);
             let sender = sim.add_node(Box::new(MptcpSender::new(MptcpConfig {
                 flow: 10,
@@ -175,9 +218,10 @@ pub fn run_mptcp(
                 per_second_mbps: series,
             }
         }
-        // One path entirely dead: MPTCP degenerates to the live path.
-        (Some(_), None) => run_single_path(trace_a, seed),
-        (None, Some(_)) => run_single_path(trace_b, seed),
+        // One path entirely dead: MPTCP degenerates to the live path
+        // (still under that path's scheduled faults).
+        (Some(_), None) => run_single_path_faulted(trace_a, seed, faults_a),
+        (None, Some(_)) => run_single_path_faulted(trace_b, seed, faults_b),
         (None, None) => EmulationResult {
             mean_mbps: 0.0,
             per_second_mbps: vec![0.0; secs as usize],
@@ -228,6 +272,63 @@ mod tests {
         assert!(mp.mean_mbps > 20.0, "got {}", mp.mean_mbps);
         let both_dead = run_mptcp(&dead, &dead, SchedulerKind::MinRtt, BufferTuning::Tuned, 3);
         assert_eq!(both_dead.mean_mbps, 0.0);
+    }
+
+    #[test]
+    fn faulted_run_with_empty_schedules_matches_plain_run() {
+        let a = flat_trace("A", 60.0, 50.0, 12);
+        let b = flat_trace("B", 40.0, 70.0, 12);
+        let none = FaultSchedule::new();
+        let plain = run_mptcp(&a, &b, SchedulerKind::Blest, BufferTuning::Tuned, 5);
+        let wrapped = run_mptcp_faulted(
+            &a,
+            &b,
+            SchedulerKind::Blest,
+            BufferTuning::Tuned,
+            5,
+            &none,
+            &none,
+        );
+        assert_eq!(plain.per_second_mbps, wrapped.per_second_mbps);
+        let sp = run_single_path(&a, 5);
+        let sf = run_single_path_faulted(&a, 5, &none);
+        assert_eq!(sp.per_second_mbps, sf.per_second_mbps);
+    }
+
+    #[test]
+    fn mptcp_degrades_gracefully_under_injected_outage() {
+        // The graceful-degradation property: with one path forced into
+        // outage for most of the download, MPTCP must still sustain at
+        // least the surviving path's solo throughput (the early dual-path
+        // seconds more than pay for the dead subflow's probing).
+        let a = flat_trace("A", 60.0, 50.0, 30);
+        let b = flat_trace("B", 40.0, 70.0, 30);
+        let outage_b = FaultSchedule::new().outage_s(10, 30);
+        let mp = run_mptcp_faulted(
+            &a,
+            &b,
+            SchedulerKind::Blest,
+            BufferTuning::Tuned,
+            7,
+            &FaultSchedule::new(),
+            &outage_b,
+        );
+        let solo_surviving = run_single_path(&a, 7);
+        assert!(
+            mp.mean_mbps >= solo_surviving.mean_mbps,
+            "faulted MPTCP {} must sustain the surviving path's solo {}",
+            mp.mean_mbps,
+            solo_surviving.mean_mbps
+        );
+        // And the outage really bit: the faulted run stays below the
+        // fault-free dual-path run.
+        let clean = run_mptcp(&a, &b, SchedulerKind::Blest, BufferTuning::Tuned, 7);
+        assert!(
+            mp.mean_mbps < clean.mean_mbps,
+            "outage had no effect: {} vs clean {}",
+            mp.mean_mbps,
+            clean.mean_mbps
+        );
     }
 
     #[test]

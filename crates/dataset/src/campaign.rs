@@ -46,6 +46,50 @@ pub fn campaign_threads() -> usize {
         .min(64)
 }
 
+/// Weather mix of a campaign, in tenths of drive time.
+///
+/// The drive's weather alternates in multi-hour blocks; out of every ten
+/// blocks (hashed pseudo-randomly from the campaign seed), `rain_tenths`
+/// are rainy and `snow_tenths` snowy, the rest clear. The default 2/1 mix
+/// reproduces §3.3's "clear weather conditions but also rainy and snowy
+/// conditions"; scenario campaigns override it (e.g. a thunderstorm
+/// front). Tenths beyond ten are clamped so the mix always partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeatherMix {
+    pub rain_tenths: u8,
+    pub snow_tenths: u8,
+}
+
+impl Default for WeatherMix {
+    fn default() -> Self {
+        Self {
+            rain_tenths: 2,
+            snow_tenths: 1,
+        }
+    }
+}
+
+impl WeatherMix {
+    /// Permanently clear skies.
+    pub const CLEAR: WeatherMix = WeatherMix {
+        rain_tenths: 0,
+        snow_tenths: 0,
+    };
+
+    /// The weather for a block hash in `[0, 10)`.
+    fn weather_for(&self, tenth: u64) -> Weather {
+        let rain = (self.rain_tenths as u64).min(10);
+        let snow = (self.snow_tenths as u64).min(10 - rain);
+        if tenth < rain {
+            Weather::Rain
+        } else if tenth < rain + snow {
+            Weather::Snow
+        } else {
+            Weather::Clear
+        }
+    }
+}
+
 /// Campaign parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignConfig {
@@ -58,6 +102,13 @@ pub struct CampaignConfig {
     pub tests_at_full_scale: u32,
     /// Duration of each test, seconds.
     pub test_duration_s: u32,
+    /// Weather mix over the drive (default: the paper's clear/rain/snow
+    /// blocks).
+    pub weather: WeatherMix,
+    /// Forces every second of the drive to one area type (scenario
+    /// campaigns: e.g. an all-urban canyon world); `None` classifies
+    /// areas from the route as usual.
+    pub area_override: Option<AreaType>,
 }
 
 impl Default for CampaignConfig {
@@ -67,6 +118,8 @@ impl Default for CampaignConfig {
             scale: 1.0,
             tests_at_full_scale: 1239,
             test_duration_s: 60,
+            weather: WeatherMix::default(),
+            area_override: None,
         }
     }
 }
@@ -89,6 +142,7 @@ impl CampaignConfig {
 
 /// The generated campaign: the drive, aligned per-network traces, and the
 /// completed test records.
+#[derive(Debug, Clone)]
 pub struct Campaign {
     pub config: CampaignConfig,
     /// 1 Hz environment samples of the whole drive.
@@ -127,13 +181,16 @@ impl Campaign {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let plan = DrivePlan::new(route).with_start_hour(8.0);
         let mut samples = plan.simulate(&mut rng, 60 * 60 * 24 * 14);
-        apply_weather_schedule(&mut samples, config.seed);
+        apply_weather_schedule(&mut samples, config.seed, config.weather);
 
-        // 2. Classify areas along the drive.
-        let areas: Vec<AreaType> = samples
-            .iter()
-            .map(|s| classifier.classify(&s.position))
-            .collect();
+        // 2. Classify areas along the drive (or force one everywhere).
+        let areas: Vec<AreaType> = match config.area_override {
+            Some(area) => vec![area; samples.len()],
+            None => samples
+                .iter()
+                .map(|s| classifier.classify(&s.position))
+                .collect(),
+        };
 
         // 3. Trace every network over the same timeline, one job per
         //    network fanned out over scoped threads.
@@ -161,11 +218,29 @@ impl Campaign {
     pub fn records_where(&self, f: impl Fn(&DriveRecord) -> bool) -> Vec<&DriveRecord> {
         self.records.iter().filter(|r| f(r)).collect()
     }
+
+    /// Re-runs the scheduled tests against the *current* traces,
+    /// replacing `records` — the scenario engine's hook: after its
+    /// perturbation layer rewrites the per-second condition series, the
+    /// measured dataset must reflect the degraded world. Same
+    /// determinism contract as [`Campaign::generate_with_threads`]: the
+    /// result is byte-identical for every `threads` value.
+    pub fn rerun_tests(&mut self, threads: usize) {
+        self.records = schedule_and_run(
+            &self.config,
+            &self.samples,
+            &self.areas,
+            &self.traces,
+            threads.max(1),
+        );
+    }
 }
 
 /// Weather alternates in multi-hour blocks: mostly clear, with rain and
-/// snow segments (§3.3 collected in all three).
-fn apply_weather_schedule(samples: &mut [EnvironmentSample], seed: u64) {
+/// snow segments (§3.3 collected in all three). The mix decides how many
+/// of every ten (hashed) blocks are rain or snow; the default mix keeps
+/// this function byte-identical to the original fixed 2/1 schedule.
+fn apply_weather_schedule(samples: &mut [EnvironmentSample], seed: u64, mix: WeatherMix) {
     const BLOCK_S: u64 = 2 * 3600;
     for s in samples.iter_mut() {
         let block = s.t_s / BLOCK_S;
@@ -173,11 +248,7 @@ fn apply_weather_schedule(samples: &mut [EnvironmentSample], seed: u64) {
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(seed)
             .wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        s.weather = match h % 10 {
-            0 | 1 => Weather::Rain,
-            2 => Weather::Snow,
-            _ => Weather::Clear,
-        };
+        s.weather = mix.weather_for(h % 10);
     }
 }
 
@@ -551,6 +622,61 @@ mod tests {
                 "records differ at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn weather_mix_controls_the_schedule() {
+        let all_rain = Campaign::generate(CampaignConfig {
+            weather: WeatherMix {
+                rain_tenths: 10,
+                snow_tenths: 0,
+            },
+            ..CampaignConfig::small()
+        });
+        assert!(all_rain.samples.iter().all(|s| s.weather == Weather::Rain));
+
+        let clear = Campaign::generate(CampaignConfig {
+            weather: WeatherMix::CLEAR,
+            ..CampaignConfig::small()
+        });
+        assert!(clear.samples.iter().all(|s| s.weather == Weather::Clear));
+
+        // The default mix reproduces the original fixed 2/1 schedule on
+        // the block-hash tenths (a small campaign spans too few two-hour
+        // blocks to observe all three conditions empirically).
+        let mix = WeatherMix::default();
+        for tenth in 0..10 {
+            let want = match tenth {
+                0 | 1 => Weather::Rain,
+                2 => Weather::Snow,
+                _ => Weather::Clear,
+            };
+            assert_eq!(mix.weather_for(tenth), want, "tenth {tenth}");
+        }
+    }
+
+    #[test]
+    fn area_override_forces_every_second() {
+        let urban = Campaign::generate(CampaignConfig {
+            area_override: Some(AreaType::Urban),
+            ..CampaignConfig::small()
+        });
+        assert!(urban.areas.iter().all(|&a| a == AreaType::Urban));
+        assert!(urban.records.iter().all(|r| r.area == AreaType::Urban));
+    }
+
+    #[test]
+    fn rerun_tests_is_idempotent_and_thread_invariant() {
+        let base = small_campaign();
+        let mut again = base.clone();
+        again.rerun_tests(1);
+        assert_eq!(
+            base.records, again.records,
+            "unperturbed rerun must reproduce the original records"
+        );
+        let mut par = base.clone();
+        par.rerun_tests(5);
+        assert_eq!(again.records, par.records, "rerun thread invariance");
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod record;
 pub mod summary;
 pub mod tour;
 
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{campaign_threads, Campaign, CampaignConfig, WeatherMix};
 pub use record::{DriveRecord, NetworkId, TestKind};
 pub use summary::DatasetSummary;
 pub use tour::grand_tour;

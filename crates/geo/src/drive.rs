@@ -38,6 +38,20 @@ impl Weather {
             Weather::Snow => 0.92,
         }
     }
+
+    /// Weather capacity multiplier applied to cellular links.
+    ///
+    /// §3.3 collected data in clear, rainy, and snowy conditions and the
+    /// weather affects both network types; sub-6 GHz cellular carriers are
+    /// attenuated far less than the Ku band, so these factors are milder
+    /// than [`Weather::satellite_capacity_factor`].
+    pub fn cellular_capacity_factor(&self) -> f64 {
+        match self {
+            Weather::Clear => 1.0,
+            Weather::Rain => 0.93,
+            Weather::Snow => 0.95,
+        }
+    }
 }
 
 /// One per-second sample of the drive context.

@@ -131,6 +131,37 @@ impl LinkTrace {
         }
     }
 
+    /// Returns a copy with every sample inside campaign times
+    /// `[start_t_s, end_t_s)` replaced by `f(t_s, condition)` — the
+    /// scenario engine's fault-window primitive. The window is clamped to
+    /// the trace's extent, so out-of-range (or empty) windows are no-ops.
+    pub fn map_window(
+        &self,
+        start_t_s: u64,
+        end_t_s: u64,
+        f: impl Fn(u64, &LinkCondition) -> LinkCondition,
+    ) -> LinkTrace {
+        let lo = start_t_s.max(self.start_t_s);
+        let hi = end_t_s.min(self.end_t_s());
+        LinkTrace {
+            start_t_s: self.start_t_s,
+            label: self.label.clone(),
+            samples: self
+                .samples
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let t = self.start_t_s + i as u64;
+                    if t >= lo && t < hi {
+                        f(t, c)
+                    } else {
+                        *c
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Returns a copy with the capacity series smoothed by a centred
     /// moving average of width `w` (RTT and loss untouched) — useful to
     /// separate slow trends from fast fades when eyeballing traces.
@@ -292,6 +323,32 @@ mod tests {
         let sm_stats = sm.stats().unwrap();
         assert!((raw_stats.mean_mbps - sm_stats.mean_mbps).abs() < 10.0);
         assert!(sm_stats.max_mbps - sm_stats.min_mbps < raw_stats.max_mbps - raw_stats.min_mbps);
+    }
+
+    #[test]
+    fn map_window_touches_only_the_window() {
+        let t = flat("x", 100, 10, 50.0);
+        let faded = t.map_window(103, 106, |_, c| c.scale_capacity(0.1));
+        for (i, c) in faded.samples().iter().enumerate() {
+            let t_s = 100 + i as u64;
+            let want = if (103..106).contains(&t_s) { 5.0 } else { 50.0 };
+            assert!((c.capacity_mbps - want).abs() < 1e-9, "t={t_s}");
+        }
+        // Out-of-range windows are no-ops, not panics.
+        assert_eq!(t.map_window(0, 50, |_, _| LinkCondition::OUTAGE), t);
+        assert_eq!(t.map_window(500, 600, |_, _| LinkCondition::OUTAGE), t);
+        assert_eq!(t.map_window(106, 103, |_, _| LinkCondition::OUTAGE), t);
+    }
+
+    #[test]
+    fn map_window_passes_campaign_time() {
+        let t = flat("x", 10, 5, 50.0);
+        let seen = std::cell::RefCell::new(Vec::new());
+        let _ = t.map_window(10, 15, |ts, c| {
+            seen.borrow_mut().push(ts);
+            *c
+        });
+        assert_eq!(*seen.borrow(), vec![10, 11, 12, 13, 14]);
     }
 
     #[test]

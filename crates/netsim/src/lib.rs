@@ -25,6 +25,9 @@ pub mod sim;
 pub mod time;
 
 pub use packet::Packet;
-pub use pipe::{ConstPipe, JitterPipe, Pipe, PipeStats, TracePipe};
+pub use pipe::{
+    ConstPipe, FaultKind, FaultPipe, FaultSchedule, FaultWindow, JitterPipe, Pipe, PipeStats,
+    TracePipe,
+};
 pub use sim::{Agent, Context, LinkId, NodeId, Simulator};
 pub use time::SimTime;

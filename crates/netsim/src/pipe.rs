@@ -23,6 +23,9 @@ pub struct PipeStats {
     pub delivered_bytes: u64,
     pub dropped_random: u64,
     pub dropped_queue: u64,
+    /// Packets consumed by an injected fault ([`FaultPipe`]) before they
+    /// reached the wrapped pipe.
+    pub dropped_fault: u64,
 }
 
 impl PipeStats {
@@ -31,7 +34,8 @@ impl PipeStats {
         if self.offered_packets == 0 {
             0.0
         } else {
-            (self.dropped_random + self.dropped_queue) as f64 / self.offered_packets as f64
+            (self.dropped_random + self.dropped_queue + self.dropped_fault) as f64
+                / self.offered_packets as f64
         }
     }
 }
@@ -548,5 +552,280 @@ mod jitter_tests {
             );
         }
         assert_eq!(wrapped.stats().offered_packets, 50);
+    }
+}
+
+/// What an injected fault does to packets inside its window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Drop every packet (a forced outage).
+    Outage,
+    /// Additional i.i.d. loss probability on top of the inner pipe's own.
+    Loss(f64),
+    /// Added one-way delay, milliseconds (an RTT spike contributes half
+    /// its magnitude per direction).
+    ExtraDelayMs(u64),
+}
+
+/// One scheduled fault: a kind active during `[start_ms, end_ms)` of
+/// simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    pub start_ms: u64,
+    pub end_ms: u64,
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Whether the window covers `now`.
+    pub fn covers(&self, now: SimTime) -> bool {
+        let ms = now.as_millis();
+        self.start_ms <= ms && ms < self.end_ms
+    }
+}
+
+/// A schedule of faults for one direction of one path — the scenario
+/// engine compiles its typed perturbations down to this, and a
+/// [`FaultPipe`] executes it. An empty schedule is exactly transparent
+/// (no RNG draws, no timing changes), so fault-capable harnesses can
+/// always wrap without disturbing fault-free runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultSchedule {
+    /// An empty (transparent) schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault is scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The scheduled windows.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Adds a window (builder style).
+    pub fn with(mut self, window: FaultWindow) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Adds a forced outage over `[start_s, end_s)` seconds.
+    pub fn outage_s(self, start_s: u64, end_s: u64) -> Self {
+        self.with(FaultWindow {
+            start_ms: start_s * 1000,
+            end_ms: end_s * 1000,
+            kind: FaultKind::Outage,
+        })
+    }
+
+    /// Adds extra random loss over `[start_s, end_s)` seconds.
+    pub fn loss_s(self, start_s: u64, end_s: u64, p: f64) -> Self {
+        self.with(FaultWindow {
+            start_ms: start_s * 1000,
+            end_ms: end_s * 1000,
+            kind: FaultKind::Loss(p.clamp(0.0, 1.0)),
+        })
+    }
+
+    /// Adds extra one-way delay over `[start_s, end_s)` seconds.
+    pub fn extra_delay_s(self, start_s: u64, end_s: u64, extra_ms: u64) -> Self {
+        self.with(FaultWindow {
+            start_ms: start_s * 1000,
+            end_ms: end_s * 1000,
+            kind: FaultKind::ExtraDelayMs(extra_ms),
+        })
+    }
+
+    /// The windows covering `now`, in schedule order.
+    fn active(&self, now: SimTime) -> impl Iterator<Item = &FaultWindow> {
+        self.windows.iter().filter(move |w| w.covers(now))
+    }
+}
+
+/// Composes a [`FaultSchedule`] onto any inner pipe: scheduled outages
+/// and loss consume packets *before* they reach the inner pipe (the
+/// fault sits between the sender and the link, like a mid-path failure),
+/// and scheduled extra delay shifts deliveries the inner pipe grants.
+///
+/// Drops caused by the schedule are accounted in
+/// [`PipeStats::dropped_fault`], so a harness can separate injected
+/// degradation from the link's own behaviour.
+#[derive(Debug, Clone)]
+pub struct FaultPipe<P: Pipe> {
+    inner: P,
+    schedule: FaultSchedule,
+    /// Packets the schedule consumed (they never reached `inner`).
+    fault_offered_packets: u64,
+    fault_offered_bytes: u64,
+    fault_dropped: u64,
+}
+
+impl<P: Pipe> FaultPipe<P> {
+    /// Wraps `inner` under `schedule`.
+    pub fn new(inner: P, schedule: FaultSchedule) -> Self {
+        Self {
+            inner,
+            schedule,
+            fault_offered_packets: 0,
+            fault_offered_bytes: 0,
+            fault_dropped: 0,
+        }
+    }
+}
+
+impl<P: Pipe> Pipe for FaultPipe<P> {
+    fn offer(&mut self, size_bytes: u32, now: SimTime, rng: &mut SmallRng) -> Option<SimTime> {
+        let mut extra = SimTime::ZERO;
+        for w in self.schedule.active(now) {
+            let dropped = match w.kind {
+                FaultKind::Outage => true,
+                FaultKind::Loss(p) => p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0)),
+                FaultKind::ExtraDelayMs(ms) => {
+                    extra += SimTime::from_millis(ms);
+                    false
+                }
+            };
+            if dropped {
+                self.fault_offered_packets += 1;
+                self.fault_offered_bytes += size_bytes as u64;
+                self.fault_dropped += 1;
+                return None;
+            }
+        }
+        let base = self.inner.offer(size_bytes, now, rng)?;
+        Some(base + extra)
+    }
+
+    fn stats(&self) -> PipeStats {
+        let mut s = self.inner.stats();
+        s.offered_packets += self.fault_offered_packets;
+        s.offered_bytes += self.fault_offered_bytes;
+        s.dropped_fault += self.fault_dropped;
+        s
+    }
+
+    fn queued_bytes(&self, now: SimTime) -> u64 {
+        self.inner.queued_bytes(now)
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn fast_inner() -> ConstPipe {
+        ConstPipe::new(1000.0, SimTime::from_millis(10), 0.0, u64::MAX)
+    }
+
+    #[test]
+    fn empty_schedule_is_transparent() {
+        // Bit-for-bit: same deliveries AND the same RNG stream as the
+        // bare pipe, even with a lossy inner pipe drawing randomness.
+        let mut plain = ConstPipe::new(80.0, SimTime::from_millis(10), 0.1, 1 << 20);
+        let mut wrapped = FaultPipe::new(
+            ConstPipe::new(80.0, SimTime::from_millis(10), 0.1, 1 << 20),
+            FaultSchedule::new(),
+        );
+        let mut r1 = SmallRng::seed_from_u64(11);
+        let mut r2 = SmallRng::seed_from_u64(11);
+        for i in 0..500u64 {
+            let t = SimTime::from_micros(i * 137);
+            assert_eq!(
+                wrapped.offer(1500, t, &mut r2),
+                plain.offer(1500, t, &mut r1),
+                "packet {i}"
+            );
+        }
+        assert_eq!(wrapped.stats(), plain.stats());
+    }
+
+    #[test]
+    fn outage_window_drops_exactly_inside() {
+        let mut p = FaultPipe::new(fast_inner(), FaultSchedule::new().outage_s(2, 4));
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!(p.offer(1500, SimTime::from_millis(1999), &mut r).is_some());
+        assert!(p.offer(1500, SimTime::from_millis(2000), &mut r).is_none());
+        assert!(p.offer(1500, SimTime::from_millis(3999), &mut r).is_none());
+        assert!(p.offer(1500, SimTime::from_millis(4000), &mut r).is_some());
+        let s = p.stats();
+        assert_eq!(s.dropped_fault, 2);
+        assert_eq!(s.offered_packets, 4);
+        assert_eq!(s.delivered_packets, 2);
+        assert!((s.drop_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_window_adds_loss_only_inside() {
+        let mut p = FaultPipe::new(fast_inner(), FaultSchedule::new().loss_s(0, 10, 0.5));
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut dropped_in = 0u32;
+        for i in 0..2000u64 {
+            if p.offer(100, SimTime::from_micros(i * 500), &mut r)
+                .is_none()
+            {
+                dropped_in += 1;
+            }
+        }
+        let rate = dropped_in as f64 / 2000.0;
+        assert!((rate - 0.5).abs() < 0.05, "in-window loss {rate}");
+        // Outside the window the pipe is clean.
+        for i in 0..200u64 {
+            assert!(p
+                .offer(
+                    100,
+                    SimTime::from_secs(20) + SimTime::from_micros(i * 500),
+                    &mut r
+                )
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn extra_delay_shifts_deliveries() {
+        let mut plain = fast_inner();
+        let mut delayed =
+            FaultPipe::new(fast_inner(), FaultSchedule::new().extra_delay_s(0, 1, 150));
+        let mut r1 = SmallRng::seed_from_u64(3);
+        let mut r2 = SmallRng::seed_from_u64(3);
+        let base = plain.offer(1500, SimTime::ZERO, &mut r1).unwrap();
+        let spiked = delayed.offer(1500, SimTime::ZERO, &mut r2).unwrap();
+        assert_eq!(spiked, base + SimTime::from_millis(150));
+        // After the window: no shift.
+        let t = SimTime::from_secs(2);
+        let base = plain.offer(1500, t, &mut r1).unwrap();
+        let late = delayed.offer(1500, t, &mut r2).unwrap();
+        assert_eq!(late, base);
+    }
+
+    #[test]
+    fn overlapping_windows_compose() {
+        // Delay + loss overlapping: surviving packets get the delay.
+        let sched = FaultSchedule::new()
+            .extra_delay_s(0, 10, 40)
+            .loss_s(0, 10, 0.3);
+        let mut p = FaultPipe::new(fast_inner(), sched);
+        let mut r = SmallRng::seed_from_u64(8);
+        let mut survivors = 0u32;
+        for i in 0..1000u64 {
+            let t = SimTime::from_micros(i * 800);
+            if let Some(d) = p.offer(100, t, &mut r) {
+                assert!(d >= t + SimTime::from_millis(50), "delay missing at {i}");
+                survivors += 1;
+            }
+        }
+        let survive_rate = survivors as f64 / 1000.0;
+        assert!(
+            (survive_rate - 0.7).abs() < 0.05,
+            "survivors {survive_rate}"
+        );
+        assert_eq!(p.stats().dropped_fault as u32, 1000 - survivors);
     }
 }

@@ -211,6 +211,36 @@ mod tests {
     }
 
     #[test]
+    fn empirical_three_state_frequencies_match_stationary() {
+        // The Clear-fraction check above can pass with Partial and
+        // Blocked swapped; pin the whole distribution per area type.
+        for area in AreaType::ALL {
+            let (c, p, b) = ObstructionParams::for_area(area).stationary();
+            let mut rng = SmallRng::seed_from_u64(0x0b57);
+            let mut proc = ObstructionProcess::new();
+            let n = 300_000usize;
+            let (mut nc, mut np, mut nb) = (0usize, 0usize, 0usize);
+            for _ in 0..n {
+                match proc.step(area, &mut rng) {
+                    SkyState::Clear => nc += 1,
+                    SkyState::Partial => np += 1,
+                    SkyState::Blocked => nb += 1,
+                }
+            }
+            for (label, emp, exp) in [
+                ("clear", nc as f64 / n as f64, c),
+                ("partial", np as f64 / n as f64, p),
+                ("blocked", nb as f64 / n as f64, b),
+            ] {
+                assert!(
+                    (emp - exp).abs() < 0.02,
+                    "{area} {label}: empirical {emp} vs stationary {exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn process_is_deterministic_per_seed() {
         let a = empirical_clear_fraction(AreaType::Urban, 7, 1000);
         let b = empirical_clear_fraction(AreaType::Urban, 7, 1000);

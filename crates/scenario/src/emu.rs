@@ -1,0 +1,131 @@
+//! Graceful-degradation emulation: §6's MPTCP download with a path
+//! yanked out from under it.
+//!
+//! The synergy argument's strongest form is not "two networks are faster
+//! than one" but "losing one network mid-transfer costs only that
+//! network's share". This module runs the packet-level check: an MPTCP
+//! download over satellite+cellular where the cellular path is forced
+//! into outage partway through must still deliver at least what the
+//! surviving satellite path manages alone.
+
+use leo_core::fig10;
+use leo_core::mptcp_emu::{run_mptcp_faulted, run_single_path, BufferTuning};
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::NetworkId;
+use leo_netsim::FaultSchedule;
+use leo_transport::mptcp::SchedulerKind;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one graceful-degradation emulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Campaign second the emulation window starts at.
+    pub window_t0_s: u64,
+    /// Window length, seconds.
+    pub window_s: u64,
+    /// Second (within the window) the cellular path goes dark.
+    pub outage_from_s: u64,
+    /// The surviving satellite path alone, no faults.
+    pub solo_surviving_mbps: f64,
+    /// MPTCP over both paths with the cellular outage injected.
+    pub mptcp_faulted_mbps: f64,
+    /// MPTCP over both paths, fault-free (the ceiling).
+    pub mptcp_clean_mbps: f64,
+}
+
+impl DegradationReport {
+    /// The graceful-degradation property: the faulted MPTCP run keeps at
+    /// least the surviving path's solo throughput.
+    pub fn degrades_gracefully(&self) -> bool {
+        self.mptcp_faulted_mbps >= self.solo_surviving_mbps
+    }
+}
+
+/// Runs the graceful-degradation emulation on `campaign`.
+///
+/// The window is the campaign's best all-networks-alive segment (the
+/// same selector Figure 10 uses); paths are Starlink Mobility (survivor)
+/// and Verizon (killed from `window_s × outage_from_frac` onward). The
+/// result is a pure function of the campaign and `seed`.
+pub fn graceful_degradation(
+    campaign: &Campaign,
+    window_s: u64,
+    outage_from_frac: f64,
+    seed: u64,
+) -> DegradationReport {
+    let t0 = fig10::select_windows(campaign, 1, window_s)[0];
+    let sat = campaign.traces[&NetworkId::Mobility]
+        .0
+        .window(t0, t0 + window_s);
+    let cell = campaign.traces[&NetworkId::Verizon]
+        .0
+        .window(t0, t0 + window_s);
+    let outage_from_s = (window_s as f64 * outage_from_frac.clamp(0.0, 1.0)).round() as u64;
+
+    let none = FaultSchedule::new();
+    let cell_dies = FaultSchedule::new().outage_s(outage_from_s, window_s);
+
+    let solo = run_single_path(&sat, seed);
+    let clean = run_mptcp_faulted(
+        &sat,
+        &cell,
+        SchedulerKind::Blest,
+        BufferTuning::Tuned,
+        seed,
+        &none,
+        &none,
+    );
+    let faulted = run_mptcp_faulted(
+        &sat,
+        &cell,
+        SchedulerKind::Blest,
+        BufferTuning::Tuned,
+        seed,
+        &none,
+        &cell_dies,
+    );
+
+    DegradationReport {
+        window_t0_s: t0,
+        window_s,
+        outage_from_s,
+        solo_surviving_mbps: solo.mean_mbps,
+        mptcp_faulted_mbps: faulted.mean_mbps,
+        mptcp_clean_mbps: clean.mean_mbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_dataset::campaign::CampaignConfig;
+
+    #[test]
+    fn degradation_report_holds_on_a_small_campaign() {
+        let campaign = Campaign::generate_with_threads(
+            CampaignConfig {
+                scale: 0.01,
+                seed: 0x00de_cade,
+                ..CampaignConfig::default()
+            },
+            1,
+        );
+        let r = graceful_degradation(&campaign, 60, 0.4, 42);
+        assert!(
+            r.degrades_gracefully(),
+            "MPTCP under outage {} < surviving solo {}",
+            r.mptcp_faulted_mbps,
+            r.solo_surviving_mbps
+        );
+        assert!(
+            r.mptcp_faulted_mbps <= r.mptcp_clean_mbps + 1e-9,
+            "outage cannot help: faulted {} > clean {}",
+            r.mptcp_faulted_mbps,
+            r.mptcp_clean_mbps
+        );
+        assert_eq!(r.outage_from_s, 24);
+        // Deterministic: same campaign + seed, same report.
+        let again = graceful_degradation(&campaign, 60, 0.4, 42);
+        assert_eq!(r, again);
+    }
+}

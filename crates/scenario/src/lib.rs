@@ -1,0 +1,34 @@
+//! Declarative what-if campaigns for the leo-cell reproduction.
+//!
+//! The paper measures *one* world — the five-state drive that happened.
+//! This crate asks the counterfactual questions its synergy argument
+//! (§5, §7) implies: what if a thunderstorm front had parked over the
+//! route, a carrier had a regional outage, the whole drive were urban
+//! canyon, or satellite handovers stalled pathologically often? Three
+//! layers answer them:
+//!
+//! * [`spec`] — serializable scenario descriptions: campaign
+//!   re-parameterisation plus typed [`spec::Perturbation`]s on the
+//!   per-second condition series; [`library`] ships eight built-ins.
+//! * [`emu`] + [`leo_netsim::FaultPipe`] — scheduled faults composed
+//!   onto emulated pipes, so the §6 MPTCP experiments run under injected
+//!   degradation (the graceful-degradation check).
+//! * [`runner`] — a parallel sweep runner with the workspace's
+//!   determinism contract: the report is a pure function of (base
+//!   config, specs), byte-identical at any thread count.
+
+pub mod emu;
+pub mod library;
+pub mod perturb;
+pub mod registry;
+pub mod runner;
+pub mod spec;
+
+pub use emu::{graceful_degradation, DegradationReport};
+pub use library::{builtin, builtin_scenarios, BASELINE};
+pub use perturb::apply_all;
+pub use registry::figure_entry;
+pub use runner::{
+    CoverageMetrics, NetworkMetrics, ScenarioOutcome, ScenarioReport, ScenarioRunner,
+};
+pub use spec::{CampaignOverrides, NetworkSelector, Perturbation, ScenarioSpec, Window};

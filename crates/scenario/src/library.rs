@@ -1,0 +1,182 @@
+//! The built-in scenario library.
+//!
+//! Eight ready-made what-if campaigns covering the paper's synergy
+//! argument from both directions: weather and fault stress on each
+//! network family, and the ablations (`leo-only` / `cell-only` /
+//! `carrier-outage`) whose coverage must stay dominated by the combined
+//! `baseline` deployment (§5's "complementary coverage" claim).
+
+use crate::spec::{CampaignOverrides, NetworkSelector, Perturbation, ScenarioSpec, Window};
+use leo_dataset::campaign::WeatherMix;
+use leo_geo::area::AreaType;
+
+/// The unperturbed reference campaign every report diffs against.
+pub const BASELINE: &str = "baseline";
+
+/// All built-in scenarios, in report order. `baseline` is always first.
+pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::named(BASELINE, "unperturbed reference campaign"),
+        thunderstorm_front(),
+        urban_canyon(),
+        carrier_outage(),
+        handover_storm(),
+        leo_only(),
+        cell_only(),
+        mptcp_combined(),
+    ]
+}
+
+/// Looks up a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<ScenarioSpec> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// A slow-moving storm: mostly-rainy weather mix, plus a deep fade and a
+/// loss burst while the front passes over the middle of the drive.
+fn thunderstorm_front() -> ScenarioSpec {
+    ScenarioSpec {
+        overrides: CampaignOverrides {
+            weather: Some(WeatherMix {
+                rain_tenths: 7,
+                snow_tenths: 1,
+            }),
+            ..Default::default()
+        },
+        ..ScenarioSpec::named(
+            "thunderstorm-front",
+            "rainy mix + deep mid-drive fade and satellite loss burst",
+        )
+    }
+    .with(Perturbation::RainFade {
+        window: Window::frac(0.30, 0.60),
+        networks: NetworkSelector::All,
+        capacity_factor: 0.55,
+    })
+    .with(Perturbation::LossBurst {
+        window: Window::frac(0.30, 0.60),
+        networks: NetworkSelector::Starlink,
+        extra_loss: 0.015,
+    })
+}
+
+/// Every second of the drive reclassified as urban — the satellite's
+/// worst obstruction regime, the cellular networks' best deployment.
+fn urban_canyon() -> ScenarioSpec {
+    ScenarioSpec {
+        overrides: CampaignOverrides {
+            area: Some(AreaType::Urban),
+            ..Default::default()
+        },
+        ..ScenarioSpec::named("urban-canyon", "whole drive forced to urban area type")
+    }
+}
+
+/// A regional cellular blackout for 30 % of the drive: §5's argument that
+/// satellite keeps the combined deployment alive where carriers fail.
+fn carrier_outage() -> ScenarioSpec {
+    ScenarioSpec::named(
+        "carrier-outage",
+        "all three carriers dark for 30% of the drive",
+    )
+    .with(Perturbation::Outage {
+        window: Window::frac(0.25, 0.55),
+        networks: NetworkSelector::Cellular,
+    })
+}
+
+/// Densified satellite handover stalls: a 5 s collapse every 45 s, the
+/// paper's 15 s-interval reconfiguration signature made pathological.
+fn handover_storm() -> ScenarioSpec {
+    ScenarioSpec::named(
+        "handover-storm",
+        "5s satellite stall every 45s across the whole drive",
+    )
+    .with(Perturbation::HandoverStorm {
+        window: Window::ALL,
+        networks: NetworkSelector::Starlink,
+        period_s: 45,
+        stall_s: 5,
+    })
+}
+
+/// Ablation: cellular permanently dark, satellite carries everything.
+fn leo_only() -> ScenarioSpec {
+    ScenarioSpec::named("leo-only", "cellular permanently dark (satellite ablation)").with(
+        Perturbation::Outage {
+            window: Window::ALL,
+            networks: NetworkSelector::Cellular,
+        },
+    )
+}
+
+/// Ablation: satellite permanently dark, carriers carry everything.
+fn cell_only() -> ScenarioSpec {
+    ScenarioSpec::named(
+        "cell-only",
+        "satellite permanently dark (cellular ablation)",
+    )
+    .with(Perturbation::Outage {
+        window: Window::ALL,
+        networks: NetworkSelector::Starlink,
+    })
+}
+
+/// The §6 configuration: no condition faults, but the MPTCP
+/// graceful-degradation emulation (mid-download single-path outage) runs.
+fn mptcp_combined() -> ScenarioSpec {
+    ScenarioSpec {
+        emulate: true,
+        ..ScenarioSpec::named(
+            "mptcp-combined",
+            "MPTCP over satellite+cellular with a mid-download path outage",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_is_well_formed() {
+        let lib = builtin_scenarios();
+        assert_eq!(lib.len(), 8, "the built-in library has eight scenarios");
+        assert_eq!(lib[0].name, BASELINE, "baseline leads the report order");
+        assert!(lib[0].perturbations.is_empty() && lib[0].overrides.is_empty());
+        // Names are unique and resolvable through `builtin`.
+        for s in &lib {
+            assert_eq!(lib.iter().filter(|o| o.name == s.name).count(), 1);
+            assert_eq!(builtin(&s.name).as_ref(), Some(s));
+        }
+        assert!(builtin("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn every_builtin_round_trips_through_json() {
+        for s in builtin_scenarios() {
+            let back = ScenarioSpec::from_json(&s.to_json()).expect("round trip");
+            assert_eq!(s, back);
+        }
+    }
+
+    #[test]
+    fn ablations_kill_the_right_family() {
+        let leo = builtin("leo-only").unwrap();
+        assert!(matches!(
+            leo.perturbations[0],
+            Perturbation::Outage {
+                networks: NetworkSelector::Cellular,
+                ..
+            }
+        ));
+        let cell = builtin("cell-only").unwrap();
+        assert!(matches!(
+            cell.perturbations[0],
+            Perturbation::Outage {
+                networks: NetworkSelector::Starlink,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! Applying perturbations to a generated campaign.
+//!
+//! Faults rewrite the aligned per-second condition series of the
+//! selected networks (both directions), then re-run the campaign's
+//! scheduled tests against the degraded traces. Everything downstream —
+//! figures, coverage, dataset summaries — observes the fault because it
+//! lives in the same [`leo_link::trace::LinkTrace`]s they all read.
+
+use crate::spec::Perturbation;
+use leo_dataset::campaign::Campaign;
+use leo_link::condition::LinkCondition;
+use leo_link::trace::LinkTrace;
+
+/// Applies `perturbations` in order to `campaign`'s traces and re-runs
+/// the scheduled tests (single-threaded; the sweep parallelism lives
+/// across scenarios, not inside one).
+///
+/// A campaign with no perturbations is returned untouched — in
+/// particular its `records` stay byte-identical to generation.
+pub fn apply_all(campaign: &mut Campaign, perturbations: &[Perturbation]) {
+    if perturbations.is_empty() {
+        return;
+    }
+    let timeline_s = campaign.samples.len() as u64;
+    for p in perturbations {
+        let (lo, hi) = p.window().bounds_s(timeline_s);
+        let selector = p.networks();
+        for (&network, (down, up)) in campaign.traces.iter_mut() {
+            if !selector.matches(network) {
+                continue;
+            }
+            *down = apply_one(down, p, lo, hi);
+            *up = apply_one(up, p, lo, hi);
+        }
+    }
+    campaign.rerun_tests(1);
+}
+
+/// One perturbation on one trace. `lo..hi` are absolute campaign
+/// seconds, already resolved from the spec's fractional window.
+fn apply_one(trace: &LinkTrace, p: &Perturbation, lo: u64, hi: u64) -> LinkTrace {
+    match p {
+        Perturbation::RainFade {
+            capacity_factor, ..
+        } => {
+            let f = *capacity_factor;
+            trace.map_window(lo, hi, move |_, c| c.scale_capacity(f))
+        }
+        Perturbation::Outage { .. } => trace.map_window(lo, hi, |_, _| LinkCondition::OUTAGE),
+        Perturbation::LossBurst { extra_loss, .. } => {
+            let extra = *extra_loss;
+            trace.map_window(lo, hi, move |_, c| {
+                LinkCondition::new(c.capacity_mbps, c.rtt_ms, c.loss + extra)
+            })
+        }
+        Perturbation::RttSpike { extra_ms, .. } => {
+            let extra = *extra_ms;
+            trace.map_window(lo, hi, move |_, c| {
+                LinkCondition::new(c.capacity_mbps, c.rtt_ms + extra, c.loss)
+            })
+        }
+        Perturbation::HandoverStorm {
+            period_s, stall_s, ..
+        } => {
+            let period = (*period_s).max(1);
+            let stall = *stall_s;
+            trace.map_window(lo, hi, move |t, c| {
+                if (t - lo) % period < stall {
+                    // A reconfiguration stall: the link all but dies for
+                    // a few seconds, with heavy loss and inflated RTT.
+                    LinkCondition::new(c.capacity_mbps * 0.05, c.rtt_ms + 150.0, c.loss + 0.25)
+                } else {
+                    *c
+                }
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{NetworkSelector, Window};
+    use leo_dataset::campaign::CampaignConfig;
+    use leo_dataset::record::NetworkId;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::generate_with_threads(
+            CampaignConfig {
+                scale: 0.01,
+                seed: 0x5ce_a01,
+                ..CampaignConfig::default()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn outage_kills_only_selected_networks_inside_window() {
+        let base = tiny_campaign();
+        let mut hit = base.clone();
+        apply_all(
+            &mut hit,
+            &[Perturbation::Outage {
+                window: Window::frac(0.2, 0.4),
+                networks: NetworkSelector::Cellular,
+            }],
+        );
+        let timeline = base.samples.len() as u64;
+        let (lo, hi) = Window::frac(0.2, 0.4).bounds_s(timeline);
+        for (&n, (down, _)) in &hit.traces {
+            let orig = &base.traces[&n].0;
+            for t in lo..hi {
+                if n.is_starlink() {
+                    assert_eq!(down.at(t), orig.at(t), "{n:?} untouched");
+                } else {
+                    assert!(down.at(t).unwrap().is_outage(), "{n:?}@{t} dark");
+                }
+            }
+            // Outside the window nothing changes for anyone.
+            assert_eq!(down.at(lo.saturating_sub(1)), orig.at(lo.saturating_sub(1)));
+            assert_eq!(down.at(hi), orig.at(hi));
+        }
+    }
+
+    #[test]
+    fn no_perturbations_leave_the_campaign_byte_identical() {
+        let base = tiny_campaign();
+        let mut copy = base.clone();
+        apply_all(&mut copy, &[]);
+        assert_eq!(copy.records, base.records);
+        for (&n, (down, up)) in &copy.traces {
+            assert_eq!(down.samples(), base.traces[&n].0.samples());
+            assert_eq!(up.samples(), base.traces[&n].1.samples());
+        }
+    }
+
+    #[test]
+    fn faults_show_up_in_the_rerun_records() {
+        let base = tiny_campaign();
+        let mut hit = base.clone();
+        apply_all(
+            &mut hit,
+            &[Perturbation::Outage {
+                window: Window::ALL,
+                networks: NetworkSelector::All,
+            }],
+        );
+        // Every throughput test across a fully dark world delivers ~0.
+        let max = hit
+            .records
+            .iter()
+            .map(|r| r.mean_mbps)
+            .fold(0.0f64, f64::max);
+        assert!(max < 0.05, "dark world still delivered {max} Mbps");
+        // And the baseline has real traffic, so the rerun really differs.
+        assert!(base.records.iter().any(|r| r.mean_mbps > 1.0));
+    }
+
+    #[test]
+    fn handover_storm_stalls_on_schedule() {
+        let base = tiny_campaign();
+        let mut hit = base.clone();
+        apply_all(
+            &mut hit,
+            &[Perturbation::HandoverStorm {
+                window: Window::ALL,
+                networks: NetworkSelector::One(NetworkId::Mobility),
+                period_s: 45,
+                stall_s: 5,
+            }],
+        );
+        let orig = &base.traces[&NetworkId::Mobility].0;
+        let storm = &hit.traces[&NetworkId::Mobility].0;
+        let timeline = base.samples.len() as u64;
+        for t in 0..timeline.min(500) {
+            let (o, s) = (orig.at(t).unwrap(), storm.at(t).unwrap());
+            if t % 45 < 5 {
+                assert!((s.capacity_mbps - o.capacity_mbps * 0.05).abs() < 1e-9);
+                assert!(s.rtt_ms > o.rtt_ms + 100.0);
+            } else {
+                assert_eq!(o, s, "t={t} outside a stall");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_and_rtt_faults_stay_in_valid_ranges() {
+        let base = tiny_campaign();
+        let mut hit = base.clone();
+        apply_all(
+            &mut hit,
+            &[
+                Perturbation::LossBurst {
+                    window: Window::ALL,
+                    networks: NetworkSelector::All,
+                    extra_loss: 0.9,
+                },
+                Perturbation::RttSpike {
+                    window: Window::ALL,
+                    networks: NetworkSelector::All,
+                    extra_ms: 500.0,
+                },
+            ],
+        );
+        for (down, up) in hit.traces.values() {
+            for c in down.samples().iter().chain(up.samples()) {
+                assert!((0.0..=1.0).contains(&c.loss));
+                assert!(c.rtt_ms >= 500.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure-registry hook: the scenario sweep as an enumerable
+//! "experiment" alongside the paper's figures.
+
+use crate::library::builtin_scenarios;
+use crate::runner::ScenarioRunner;
+use leo_core::FigureEntry;
+use leo_dataset::campaign::{Campaign, CampaignConfig};
+
+/// Renders the built-in sweep for a campaign's configuration.
+///
+/// The sweep re-generates campaigns internally, so (unlike the paper
+/// figures) it only borrows `campaign.config`, capped at 2 % scale to
+/// stay interactive in `examples/figures.rs`.
+fn render_sweep(campaign: &Campaign) -> String {
+    let base = CampaignConfig {
+        scale: campaign.config.scale.min(0.02),
+        ..campaign.config.clone()
+    };
+    ScenarioRunner::new(base)
+        .run(&builtin_scenarios())
+        .render_table()
+}
+
+/// The sweep's registry entry, appended after the paper figures.
+pub fn figure_entry() -> FigureEntry {
+    FigureEntry {
+        id: "scenarios",
+        title: "What-if scenario sweep (built-in library)",
+        render: render_sweep,
+    }
+}

@@ -1,0 +1,307 @@
+//! The scenario sweep runner.
+//!
+//! Takes a matrix of [`ScenarioSpec`]s, executes every scenario against
+//! a shared base campaign, and collects a [`ScenarioReport`]. Scenarios
+//! fan out over crossbeam scoped threads, but every outcome is a pure
+//! function of `(base config, spec)` — the same determinism contract as
+//! campaign generation: any thread count yields a byte-identical report.
+
+use crate::emu::{graceful_degradation, DegradationReport};
+use crate::library::BASELINE;
+use crate::perturb::apply_all;
+use crate::spec::ScenarioSpec;
+use leo_core::fig9;
+use leo_dataset::campaign::{campaign_threads, Campaign, CampaignConfig};
+use leo_dataset::record::TestKind;
+use leo_link::condition::Direction;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// Per-network link health inside one scenario, measured on the
+/// (possibly perturbed) downlink condition series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkMetrics {
+    /// Network label ("MOB", "VZ", …).
+    pub network: String,
+    pub mean_capacity_mbps: f64,
+    pub mean_rtt_ms: f64,
+    /// Fraction of seconds in outage.
+    pub outage_frac: f64,
+}
+
+/// Coverage shares inside one scenario (the Figure 9 bars that carry the
+/// synergy claim).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageMetrics {
+    /// High-performance share of Starlink Mobility alone.
+    pub mob_high: f64,
+    /// High-performance share of the best cellular carrier.
+    pub best_cell_high: f64,
+    /// High-performance share of the combined MOB+CL deployment.
+    pub combined_high: f64,
+    /// Very-low (poor) share of the combined deployment.
+    pub combined_poor: f64,
+}
+
+/// Everything measured for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    pub name: String,
+    pub description: String,
+    /// Tests executed against the perturbed world.
+    pub tests: u32,
+    /// Mean of the UDP downlink test records, Mbps.
+    pub udp_down_mean_mbps: f64,
+    pub networks: Vec<NetworkMetrics>,
+    pub coverage: CoverageMetrics,
+    /// The §6 graceful-degradation emulation, when the spec asks for it.
+    pub emulation: Option<DegradationReport>,
+}
+
+/// The collected sweep: one outcome per scenario, in spec order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Base campaign scale the sweep ran at.
+    pub scale: f64,
+    /// Base campaign seed.
+    pub seed: u64,
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl ScenarioReport {
+    /// Pretty JSON for files and diffing; byte-identical across runs and
+    /// thread counts.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report back from [`Self::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The baseline outcome, when the sweep included one.
+    pub fn baseline(&self) -> Option<&ScenarioOutcome> {
+        self.outcomes.iter().find(|o| o.name == BASELINE)
+    }
+
+    /// Renders the sweep as a comparison table: absolute values plus
+    /// deltas against the baseline scenario (computed at render time, so
+    /// the stored JSON stays free of derived numbers).
+    pub fn render_table(&self) -> String {
+        let base = self.baseline();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Scenario sweep @ scale {:.3}, seed {:#x}\n",
+            self.scale, self.seed
+        ));
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>18} {:>9} {:>9} {:>9} {:>8}\n",
+            "scenario", "tests", "udp Mbps", "MOB hi", "cell hi", "comb hi", "comb pr"
+        ));
+        for o in &self.outcomes {
+            let delta = |v: f64, b: Option<f64>| match b {
+                Some(b) if o.name != BASELINE => format!("{v:.2} ({:+.2})", v - b),
+                _ => format!("{v:.2}"),
+            };
+            out.push_str(&format!(
+                "{:<20} {:>6} {:>18} {:>9} {:>9} {:>9} {:>8}\n",
+                o.name,
+                o.tests,
+                delta(o.udp_down_mean_mbps, base.map(|b| b.udp_down_mean_mbps)),
+                format!("{:.1}%", o.coverage.mob_high * 100.0),
+                format!("{:.1}%", o.coverage.best_cell_high * 100.0),
+                format!("{:.1}%", o.coverage.combined_high * 100.0),
+                format!("{:.1}%", o.coverage.combined_poor * 100.0),
+            ));
+            if let Some(e) = &o.emulation {
+                out.push_str(&format!(
+                    "{:<20} mptcp faulted {:.1} / solo surviving {:.1} / clean {:.1} Mbps\n",
+                    "", e.mptcp_faulted_mbps, e.solo_surviving_mbps, e.mptcp_clean_mbps
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Executes scenario matrices against one base configuration.
+pub struct ScenarioRunner {
+    base: CampaignConfig,
+    threads: usize,
+}
+
+impl ScenarioRunner {
+    /// A runner over `base`, with [`campaign_threads`] workers.
+    pub fn new(base: CampaignConfig) -> Self {
+        Self {
+            base,
+            threads: campaign_threads(),
+        }
+    }
+
+    /// Overrides the worker count (the report never depends on it).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs every scenario and collects the report, in spec order.
+    ///
+    /// The base campaign is generated once and shared; scenarios without
+    /// overrides clone it, scenarios with overrides regenerate. Each
+    /// outcome is a pure function of `(base config, spec)`, so the
+    /// round-robin assignment of scenarios to workers is invisible in
+    /// the output — `scenario_engine` integration tests pin the 1-vs-N
+    /// byte-identity of the JSON report.
+    pub fn run(&self, specs: &[ScenarioSpec]) -> ScenarioReport {
+        // The shared base is generated single-threaded *inside* this
+        // call so the sweep's outcome can never depend on how the
+        // caller's campaign was produced.
+        let base_campaign = Campaign::generate_with_threads(self.base.clone(), 1);
+        let slots: Mutex<Vec<Option<ScenarioOutcome>>> = Mutex::new(vec![None; specs.len()]);
+        let workers = self.threads.min(specs.len()).max(1);
+        crossbeam::thread::scope(|s| {
+            for w in 0..workers {
+                let base_campaign = &base_campaign;
+                let slots = &slots;
+                let base = &self.base;
+                s.spawn(move |_| {
+                    for (i, spec) in specs.iter().enumerate().skip(w).step_by(workers) {
+                        let outcome = run_one(spec, base, base_campaign);
+                        slots.lock().expect("slots poisoned")[i] = Some(outcome);
+                    }
+                });
+            }
+        })
+        .expect("scenario scope panicked");
+        let outcomes = slots
+            .into_inner()
+            .expect("slots poisoned")
+            .into_iter()
+            .map(|o| o.expect("every scenario ran"))
+            .collect();
+        ScenarioReport {
+            scale: self.base.scale,
+            seed: self.base.seed,
+            outcomes,
+        }
+    }
+}
+
+/// Materialises one scenario: campaign, perturbations, metrics.
+fn run_one(
+    spec: &ScenarioSpec,
+    base: &CampaignConfig,
+    base_campaign: &Campaign,
+) -> ScenarioOutcome {
+    let mut campaign = if spec.overrides.is_empty() {
+        base_campaign.clone()
+    } else {
+        Campaign::generate_with_threads(spec.overrides.apply(base), 1)
+    };
+    apply_all(&mut campaign, &spec.perturbations);
+
+    let networks = campaign
+        .traces
+        .iter()
+        .map(|(&n, (down, _))| {
+            let s = down.stats();
+            NetworkMetrics {
+                network: n.label().to_string(),
+                mean_capacity_mbps: s.as_ref().map(|s| s.mean_mbps).unwrap_or(0.0),
+                mean_rtt_ms: s.as_ref().map(|s| s.mean_rtt_ms).unwrap_or(0.0),
+                outage_frac: s.as_ref().map(|s| s.outage_frac).unwrap_or(1.0),
+            }
+        })
+        .collect();
+
+    let f9 = fig9::run(&campaign);
+    let share = |f: fn(&fig9::Fig9Data, &str) -> Option<f64>, l: &str| f(&f9, l).unwrap_or(0.0);
+    let coverage = CoverageMetrics {
+        mob_high: share(fig9::high_share, "MOB"),
+        best_cell_high: share(fig9::high_share, "BestCL"),
+        combined_high: share(fig9::high_share, "MOB+CL"),
+        combined_poor: share(fig9::poor_share, "MOB+CL"),
+    };
+
+    let udp_down: Vec<f64> = campaign
+        .records
+        .iter()
+        .filter(|r| r.kind == TestKind::Udp && r.direction == Direction::Down)
+        .map(|r| r.mean_mbps)
+        .collect();
+    let udp_down_mean_mbps = if udp_down.is_empty() {
+        0.0
+    } else {
+        udp_down.iter().sum::<f64>() / udp_down.len() as f64
+    };
+
+    let emulation = spec
+        .emulate
+        .then(|| graceful_degradation(&campaign, 60, 0.4, campaign.config.seed));
+
+    ScenarioOutcome {
+        name: spec.name.clone(),
+        description: spec.description.clone(),
+        tests: campaign.records.len() as u32,
+        udp_down_mean_mbps,
+        networks,
+        coverage,
+        emulation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::builtin;
+    use crate::spec::{NetworkSelector, Perturbation, Window};
+
+    fn tiny_base() -> CampaignConfig {
+        CampaignConfig {
+            scale: 0.01,
+            seed: 0x5eed,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let specs = vec![
+            builtin(BASELINE).unwrap(),
+            ScenarioSpec::named("dark", "cellular dark mid-drive").with(Perturbation::Outage {
+                window: Window::frac(0.3, 0.7),
+                networks: NetworkSelector::Cellular,
+            }),
+        ];
+        let report = ScenarioRunner::new(tiny_base()).with_threads(2).run(&specs);
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.outcomes[0].name, BASELINE);
+        let back = ScenarioReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(report, back);
+        let table = report.render_table();
+        assert!(table.contains("baseline") && table.contains("dark"));
+    }
+
+    #[test]
+    fn perturbed_outcome_differs_from_baseline_in_the_expected_direction() {
+        let specs = vec![
+            builtin(BASELINE).unwrap(),
+            ScenarioSpec::named("half-dark", "everything dark half the time").with(
+                Perturbation::Outage {
+                    window: Window::frac(0.0, 0.5),
+                    networks: NetworkSelector::All,
+                },
+            ),
+        ];
+        let report = ScenarioRunner::new(tiny_base()).with_threads(2).run(&specs);
+        let base = &report.outcomes[0];
+        let dark = &report.outcomes[1];
+        assert!(dark.udp_down_mean_mbps < base.udp_down_mean_mbps);
+        for (b, d) in base.networks.iter().zip(&dark.networks) {
+            assert_eq!(b.network, d.network);
+            assert!(d.outage_frac > b.outage_frac);
+        }
+    }
+}

@@ -26,7 +26,7 @@ impl ParallelTcp {
     /// The links must already exist and route data packets to all
     /// receivers and ACKs to all senders — in practice both ends are
     /// attached to a [`Demux`] node; see
-    /// [`install_with_demux`](Self::install_with_demux) for the turnkey
+    /// [`install_with_demux`] for the turnkey
     /// version.
     pub fn install(
         sim: &mut Simulator,

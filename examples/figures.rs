@@ -36,9 +36,11 @@ fn main() {
     );
 
     // Render every selected figure concurrently (each reads the shared
-    // campaign immutably), then print in the paper's figure order.
+    // campaign immutably), then print in the paper's figure order. The
+    // scenario sweep rides along as a pseudo-figure after the paper's.
     let figures: Vec<_> = all_figures()
         .into_iter()
+        .chain(std::iter::once(leo_cell::scenario::figure_entry()))
         .filter(|fig| only.as_ref().is_none_or(|id| fig.id == id))
         .collect();
     let workers = campaign_threads().min(figures.len().max(1));

@@ -15,6 +15,8 @@
 //! * [`dataset`] — the synthetic driving-campaign dataset
 //! * [`analysis`] — CDFs, coverage levels, box stats, terminal plots
 //! * [`core`] — one module per paper figure, regenerating each experiment
+//! * [`scenario`] — declarative what-if campaigns: fault injection and a
+//!   deterministic parallel sweep runner
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -27,4 +29,5 @@ pub use leo_link as link;
 pub use leo_measure as measure;
 pub use leo_netsim as netsim;
 pub use leo_orbit as orbit;
+pub use leo_scenario as scenario;
 pub use leo_transport as transport;

@@ -97,6 +97,51 @@ proptest! {
         prop_assert!(r1 >= r2 - 1e-9);
     }
 
+    /// `LinkCondition` combinators keep every field in its valid range
+    /// for arbitrary (even out-of-range) inputs: capacities and RTTs
+    /// stay non-negative, loss stays a probability.
+    #[test]
+    fn link_condition_combinators_stay_in_range(
+        cap_a in -50.0..500.0f64, rtt_a in -20.0..2000.0f64, loss_a in -0.5..1.5f64,
+        cap_b in -50.0..500.0f64, rtt_b in -20.0..2000.0f64, loss_b in -0.5..1.5f64,
+        t in -1.0..2.0f64,
+        factor in -2.0..4.0f64,
+    ) {
+        let a = LinkCondition::new(cap_a, rtt_a, loss_a);
+        let b = LinkCondition::new(cap_b, rtt_b, loss_b);
+        for c in [a, b, a.lerp(&b, t), a.scale_capacity(factor), b.scale_capacity(factor)] {
+            prop_assert!(c.capacity_mbps >= 0.0, "capacity {} < 0", c.capacity_mbps);
+            prop_assert!(c.rtt_ms >= 0.0, "rtt {} < 0", c.rtt_ms);
+            prop_assert!((0.0..=1.0).contains(&c.loss), "loss {} out of range", c.loss);
+        }
+    }
+
+    /// `lerp` is monotone in `t`, field by field: as `t` grows, every
+    /// field moves toward (never past, never away from) the `b` value.
+    #[test]
+    fn lerp_is_monotone_in_t(
+        cap_a in 0.0..400.0f64, rtt_a in 1.0..500.0f64, loss_a in 0.0..1.0f64,
+        cap_b in 0.0..400.0f64, rtt_b in 1.0..500.0f64, loss_b in 0.0..1.0f64,
+        t1 in 0.0..1.0f64, t2 in 0.0..1.0f64,
+    ) {
+        let (t1, t2) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let a = LinkCondition::new(cap_a, rtt_a, loss_a);
+        let b = LinkCondition::new(cap_b, rtt_b, loss_b);
+        let x = a.lerp(&b, t1);
+        let y = a.lerp(&b, t2);
+        // The step from t1 to t2 points in the a→b direction per field.
+        for (x_f, y_f, a_f, b_f) in [
+            (x.capacity_mbps, y.capacity_mbps, a.capacity_mbps, b.capacity_mbps),
+            (x.rtt_ms, y.rtt_ms, a.rtt_ms, b.rtt_ms),
+            (x.loss, y.loss, a.loss, b.loss),
+        ] {
+            prop_assert!((y_f - x_f) * (b_f - a_f) >= -1e-9,
+                "lerp not monotone: {x_f} -> {y_f} against {a_f} -> {b_f}");
+            // And both stay inside the [min, max] envelope of a and b.
+            prop_assert!(x_f >= a_f.min(b_f) - 1e-12 && x_f <= a_f.max(b_f) + 1e-12);
+        }
+    }
+
     /// Windowing a trace then taking stats equals taking stats of the
     /// slice directly.
     #[test]
