@@ -10,6 +10,7 @@ use leo_geo::point::GeoPoint;
 use leo_link::mahimahi::MahimahiTrace;
 use leo_netsim::{ConstPipe, Pipe, SimTime, TracePipe};
 use leo_orbit::constellation::Constellation;
+use leo_orbit::fastpath::{visible_satellites_fast, PropagationTable, VisibilitySearcher};
 use leo_orbit::visibility::visible_satellites;
 use leo_transport::cc::CcAlgorithm;
 use rand::rngs::SmallRng;
@@ -17,15 +18,45 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_constellation_sweep(c: &mut Criterion) {
-    let constellation = Constellation::starlink();
     let ground = GeoPoint::new(44.5, -93.3);
-    c.bench_function("orbit_visible_satellites_sweep", |b| {
-        let mut t = 0.0;
-        b.iter(|| {
-            t += 15.0;
-            black_box(visible_satellites(&constellation, &ground, t, 25.0))
-        })
-    });
+    let mut g = c.benchmark_group("orbit_visible_satellites_sweep");
+    for (name, constellation) in [
+        ("shell1", Constellation::starlink()),
+        ("starlink_full", Constellation::starlink_full()),
+    ] {
+        // The naive full-constellation scan: the pre-fast-path baseline
+        // and the oracle the fast path must match bit-for-bit.
+        g.bench_function(format!("{name}/naive"), |b| {
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 15.0;
+                black_box(visible_satellites(&constellation, &ground, t, 25.0))
+            })
+        });
+        // One-shot fast path: plane pruning over a prebuilt table, no
+        // temporal coherence (windows rebuilt every query).
+        let table = PropagationTable::new(&constellation);
+        g.bench_function(format!("{name}/fast_oneshot"), |b| {
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 15.0;
+                black_box(visible_satellites_fast(&table, &ground, t, 25.0))
+            })
+        });
+        // Coherent searcher at the drive model's 1 Hz sampling: cached
+        // windows amortise the rebuild across consecutive queries.
+        let mut searcher = VisibilitySearcher::new(&constellation);
+        let mut views = Vec::new();
+        g.bench_function(format!("{name}/fast_searcher_1hz"), |b| {
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 1.0;
+                searcher.visible_into(&ground, t, 25.0, &mut views);
+                black_box(views.len())
+            })
+        });
+    }
+    g.finish();
 }
 
 fn bench_deployment_query(c: &mut Criterion) {
@@ -101,6 +132,22 @@ fn bench_campaign_generation(c: &mut Criterion) {
                 },
             ))
         })
+    });
+    // The same campaign forced onto the naive orbit scan — the
+    // before/after comparison for the orbit fast path (outputs are
+    // bit-identical; only the wall clock differs).
+    g.bench_function("campaign_generate_1pct_naive_orbit", |b| {
+        std::env::set_var("LEO_ORBIT_NAIVE", "1");
+        b.iter(|| {
+            black_box(leo_dataset::campaign::Campaign::generate(
+                leo_dataset::campaign::CampaignConfig {
+                    scale: 0.01,
+                    seed: 7,
+                    ..Default::default()
+                },
+            ))
+        });
+        std::env::remove_var("LEO_ORBIT_NAIVE");
     });
     g.finish();
 }

@@ -9,7 +9,7 @@
 
 use crate::constellation::{Constellation, Satellite};
 use crate::SPEED_OF_LIGHT_KM_S;
-use leo_geo::point::GeoPoint;
+use leo_geo::point::{Ecef, GeoPoint};
 use serde::{Deserialize, Serialize};
 
 /// A Starlink gateway ground station.
@@ -72,12 +72,28 @@ impl GroundStationDb {
         user: &GeoPoint,
         t_s: f64,
     ) -> Option<f64> {
+        self.bent_pipe_one_way_ms_at(&constellation.position_ecef(sat, t_s), user)
+    }
+
+    /// [`bent_pipe_one_way_ms`](Self::bent_pipe_one_way_ms) with the
+    /// satellite position already propagated — lets fast-path callers
+    /// (which have the position from a [`crate::fastpath::PropagationTable`])
+    /// skip re-propagating the satellite.
+    pub fn bent_pipe_one_way_ms_at(&self, sat_pos: &Ecef, user: &GeoPoint) -> Option<f64> {
         let (gw, _) = self.nearest(user)?;
-        let sat_pos = constellation.position_ecef(sat, t_s);
-        let up_km = user.to_ecef(0.0).distance_km(&sat_pos);
-        let down_km = gw.location.to_ecef(0.0).distance_km(&sat_pos);
+        let up_km = user.to_ecef(0.0).distance_km(sat_pos);
+        let down_km = gw.location.to_ecef(0.0).distance_km(sat_pos);
         Some((up_km + down_km) / SPEED_OF_LIGHT_KM_S * 1000.0)
     }
+}
+
+/// Geometric bent-pipe RTT floor, ms: the user↔satellite↔gateway path has
+/// two ~altitude-length radio legs, each traversed out and back, so the
+/// floor is `2 (round trip) × 2 (legs) × Eq. 1` ≈ 7.34 ms at 550 km. Used
+/// by the link model both as the pre-acquisition initial value and as the
+/// fallback when no gateway database is configured.
+pub fn bent_pipe_floor_rtt_ms() -> f64 {
+    2.0 * 2.0 * eq1_one_way_latency_ms(550.0)
 }
 
 /// The paper's Eq. 1: one-way latency of the vertical satellite hop, ms.
@@ -139,5 +155,27 @@ mod tests {
     fn empty_db_returns_none() {
         let db = GroundStationDb::from_stations(vec![]);
         assert!(db.nearest(&GeoPoint::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn bent_pipe_floor_is_four_eq1_hops() {
+        // Pin the intended bent-pipe RTT floor: the up and down legs
+        // (user↔sat, sat↔gateway) each cross ~550 km twice per round trip,
+        // i.e. 4 × 1.835 ms ≈ 7.34 ms — NOT 2 × 1.835 (one leg, one way
+        // double-counted) nor 8 × (both legs counted twice over).
+        let floor = bent_pipe_floor_rtt_ms();
+        assert!((floor - 4.0 * 1.835).abs() < 0.01, "got {floor}");
+        assert_eq!(floor, 2.0 * 2.0 * eq1_one_way_latency_ms(550.0));
+    }
+
+    #[test]
+    fn bent_pipe_at_position_matches_propagating_variant() {
+        let c = Constellation::starlink();
+        let db = GroundStationDb::midwest_corridor();
+        let user = GeoPoint::new(44.9, -93.3);
+        let view = best_satellite(&c, &user, 500.0, 25.0).expect("satellite visible");
+        let via_constellation = db.bent_pipe_one_way_ms(&c, view.sat, &user, 500.0);
+        let via_position = db.bent_pipe_one_way_ms_at(&c.position_ecef(view.sat, 500.0), &user);
+        assert_eq!(via_constellation, via_position);
     }
 }

@@ -8,6 +8,10 @@
 //!   satellites, the shell that served the paper's 2023 campaign),
 //! * [`visibility`] — elevation/azimuth geometry, visible-satellite
 //!   queries, and pass prediction,
+//! * [`fastpath`] — the indexed visibility fast path: precomputed
+//!   propagation tables, analytic plane pruning, and a time-coherent
+//!   [`VisibilitySearcher`] returning bit-identical results to the naive
+//!   scan at a fraction of the cost,
 //! * [`ground`] — ground stations and bent-pipe path latency; Eq. 1 of the
 //!   paper (≈1.835 ms one-way at 550 km) falls out of this geometry,
 //! * [`obstruction`] — the line-of-sight blockage process that §2 and §5
@@ -19,6 +23,7 @@
 
 pub mod constellation;
 pub mod dish;
+pub mod fastpath;
 pub mod ground;
 pub mod model;
 pub mod obstruction;
@@ -27,6 +32,9 @@ pub mod visibility;
 
 pub use constellation::{Constellation, Satellite, Shell};
 pub use dish::DishPlan;
+pub use fastpath::{
+    best_satellite_fast, visible_satellites_fast, PropagationTable, VisibilitySearcher,
+};
 pub use ground::{GroundStation, GroundStationDb};
 pub use model::{StarlinkLinkModel, StarlinkModelConfig};
 pub use obstruction::{ObstructionParams, ObstructionProcess, SkyState};

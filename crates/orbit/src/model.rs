@@ -20,13 +20,15 @@
 //! (heavy low tail), Roam ≈ half of Mobility, RTTs 50–100 ms, TCP
 //! retransmission-driving loss 0.3–1.3 %.
 
-use crate::constellation::Constellation;
+use crate::constellation::{Constellation, Satellite};
 use crate::dish::DishPlan;
-use crate::ground::GroundStationDb;
+use crate::fastpath::VisibilitySearcher;
+use crate::ground::{bent_pipe_floor_rtt_ms, GroundStationDb};
 use crate::obstruction::ObstructionProcess;
 use crate::visibility::best_satellite;
 use leo_geo::area::AreaType;
 use leo_geo::drive::EnvironmentSample;
+use leo_geo::point::Ecef;
 use leo_link::condition::LinkCondition;
 use leo_link::trace::LinkTrace;
 use rand::rngs::SmallRng;
@@ -107,10 +109,36 @@ impl StarlinkLinkModel {
     /// `areas[i]` must be the area type at `samples[i]` (use
     /// `leo_geo::AreaClassifier`); the two slices must have equal length.
     /// The result is deterministic in `(samples, areas, config)`.
+    ///
+    /// Satellite selection runs on the [`crate::fastpath`] searcher; set
+    /// `LEO_ORBIT_NAIVE=1` to force the naive full-constellation scan
+    /// instead (the traces are bit-identical either way — the toggle only
+    /// exists so benchmarks can measure the before/after wall clock).
     pub fn trace_for_drive(
         &self,
         samples: &[EnvironmentSample],
         areas: &[AreaType],
+    ) -> (LinkTrace, LinkTrace) {
+        let naive = std::env::var_os("LEO_ORBIT_NAIVE").is_some_and(|v| v != "0");
+        self.trace_for_drive_impl(samples, areas, naive)
+    }
+
+    /// [`trace_for_drive`](Self::trace_for_drive) forced onto the naive
+    /// visibility scan (the fast path's oracle). Exposed for equivalence
+    /// tests and the before/after benchmark; produces bit-identical traces.
+    pub fn trace_for_drive_naive(
+        &self,
+        samples: &[EnvironmentSample],
+        areas: &[AreaType],
+    ) -> (LinkTrace, LinkTrace) {
+        self.trace_for_drive_impl(samples, areas, true)
+    }
+
+    fn trace_for_drive_impl(
+        &self,
+        samples: &[EnvironmentSample],
+        areas: &[AreaType],
+        force_naive: bool,
     ) -> (LinkTrace, LinkTrace) {
         assert_eq!(samples.len(), areas.len(), "one area per sample");
         let label = self.config.plan.label();
@@ -119,39 +147,40 @@ impl StarlinkLinkModel {
         let mut rng =
             SmallRng::seed_from_u64(self.config.seed ^ samples.first().map(|s| s.t_s).unwrap_or(0));
         let mut sky = ObstructionProcess::new();
+        let mut searcher = (!force_naive).then(|| VisibilitySearcher::new(&self.constellation));
         let mut current_sat = None;
-        let mut geo_rtt_ms = 2.0 * 2.0 * crate::ground::eq1_one_way_latency_ms(550.0);
+        let mut geo_rtt_ms = bent_pipe_floor_rtt_ms();
         let mut reacq_left = 0u32;
 
         for (sample, &area) in samples.iter().zip(areas) {
             // 1. Satellite (re)selection at each reconfiguration slot.
             if sample.t_s % self.config.reconfig_interval_s == 0 || current_sat.is_none() {
-                let view = best_satellite(
-                    &self.constellation,
-                    &sample.position,
-                    sample.t_s as f64,
-                    self.config.plan.min_elevation_deg(),
-                );
+                let mask = self.config.plan.min_elevation_deg();
+                let view = match searcher.as_mut() {
+                    Some(s) => s.best(&sample.position, sample.t_s as f64, mask),
+                    None => best_satellite(
+                        &self.constellation,
+                        &sample.position,
+                        sample.t_s as f64,
+                        mask,
+                    ),
+                };
                 let new_sat = view.map(|v| v.sat);
                 if new_sat != current_sat && current_sat.is_some() {
                     reacq_left = self.config.plan.reacquisition_s();
                 }
                 current_sat = new_sat;
                 if let Some(v) = view {
-                    geo_rtt_ms = 2.0
-                        * self
-                            .gateways
-                            .bent_pipe_one_way_ms(
-                                &self.constellation,
-                                v.sat,
-                                &sample.position,
-                                sample.t_s as f64,
-                            )
-                            .unwrap_or(2.0 * 1.835);
+                    let sat_pos = self.position_of(searcher.as_ref(), v.sat, sample.t_s as f64);
+                    geo_rtt_ms = self
+                        .gateways
+                        .bent_pipe_one_way_ms_at(&sat_pos, &sample.position)
+                        .map(|one_way| 2.0 * one_way)
+                        .unwrap_or_else(bent_pipe_floor_rtt_ms);
                 }
             }
 
-            let Some(_) = current_sat else {
+            let Some(sat) = current_sat else {
                 // No usable satellite in the plan's field of view.
                 down.push(LinkCondition::OUTAGE);
                 up.push(LinkCondition::OUTAGE);
@@ -161,7 +190,8 @@ impl StarlinkLinkModel {
             // 2. Elevation-driven beam quality (recomputed cheaply from the
             // last slot's satellite once per slot would drift; a per-second
             // smooth factor suffices at this fidelity).
-            let beam_q = beam_quality(&self.constellation, current_sat.unwrap(), sample);
+            let sat_pos = self.position_of(searcher.as_ref(), sat, sample.t_s as f64);
+            let beam_q = beam_quality_at(&sat_pos, sample);
 
             // 3. Slow sky-quality field per 1-km road segment.
             let segment = sample.travelled_km.floor() as u64;
@@ -224,17 +254,22 @@ impl StarlinkLinkModel {
             LinkTrace::new(format!("{label}-up"), start, up),
         )
     }
+
+    /// Satellite position via the searcher's propagation table when the
+    /// fast path is active, or direct propagation on the naive path. The
+    /// two are bit-identical.
+    fn position_of(&self, searcher: Option<&VisibilitySearcher>, sat: Satellite, t_s: f64) -> Ecef {
+        match searcher {
+            Some(s) => s.table().position_ecef(sat, t_s),
+            None => self.constellation.position_ecef(sat, t_s),
+        }
+    }
 }
 
 /// Beam quality from the serving satellite's elevation, in `(0, 1]`.
-fn beam_quality(
-    constellation: &Constellation,
-    sat: crate::constellation::Satellite,
-    sample: &EnvironmentSample,
-) -> f64 {
+fn beam_quality_at(sat_pos: &Ecef, sample: &EnvironmentSample) -> f64 {
     let gp = sample.position.to_ecef(0.0);
-    let sp = constellation.position_ecef(sat, sample.t_s as f64);
-    let elev = gp.elevation_deg_to(&sp).max(5.0);
+    let elev = gp.elevation_deg_to(sat_pos).max(5.0);
     elev.to_radians().sin().powf(0.35)
 }
 
@@ -403,6 +438,48 @@ mod tests {
             "mean downlink loss {mean_loss}"
         );
         assert!(up.stats().unwrap().mean_loss >= mean_loss);
+    }
+
+    #[test]
+    fn fast_path_and_naive_scan_produce_identical_traces() {
+        // The orbit fast path is an optimisation, not a model change: the
+        // full trace pipeline must be bit-identical under either scan.
+        for area in AreaType::ALL {
+            let (s, a) = drive(area, 300);
+            for plan in [DishPlan::Mobility, DishPlan::Roam] {
+                let m = model(plan);
+                let (fast_d, fast_u) = m.trace_for_drive_impl(&s, &a, false);
+                let (naive_d, naive_u) = m.trace_for_drive_naive(&s, &a);
+                assert_eq!(fast_d, naive_d, "{area} {plan:?} downlink");
+                assert_eq!(fast_u, naive_u, "{area} {plan:?} uplink");
+            }
+        }
+    }
+
+    #[test]
+    fn geo_rtt_floor_is_pinned() {
+        // The initial geometric RTT (before the first satellite lock) and
+        // the no-gateway fallback are one and the same floor: 4 × Eq. 1.
+        let floor = bent_pipe_floor_rtt_ms();
+        assert!((floor - 7.338).abs() < 0.01, "got {floor}");
+        // A model with no gateways must fall back to exactly that floor:
+        // trace RTT = floor + backhaul + jitter(4..26) + obstruction extra.
+        let cfg = StarlinkModelConfig::for_plan(DishPlan::Mobility);
+        let backhaul = cfg.backhaul_rtt_ms;
+        let m = StarlinkLinkModel::with_infrastructure(
+            cfg,
+            Constellation::starlink(),
+            crate::ground::GroundStationDb::from_stations(vec![]),
+        );
+        let (s, a) = drive(AreaType::Rural, 60);
+        let (down, _) = m.trace_for_drive(&s, &a);
+        for c in down.samples().iter().filter(|c| c.capacity_mbps > 0.0) {
+            assert!(
+                c.rtt_ms >= floor + backhaul + 4.0 - 1e-9,
+                "rtt {} below floor",
+                c.rtt_ms
+            );
+        }
     }
 
     #[test]

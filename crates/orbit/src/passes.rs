@@ -9,7 +9,7 @@
 //! StarPerf).
 
 use crate::constellation::{Constellation, Satellite};
-use crate::visibility::{best_satellite, visible_satellites};
+use crate::fastpath::{PropagationTable, VisibilitySearcher};
 use leo_geo::point::GeoPoint;
 use serde::{Deserialize, Serialize};
 
@@ -43,13 +43,35 @@ pub fn passes_of(
     t1: f64,
     step_s: f64,
 ) -> Vec<SatPass> {
+    passes_of_with(
+        &PropagationTable::new(constellation),
+        sat,
+        ground,
+        min_elevation_deg,
+        t0,
+        t1,
+        step_s,
+    )
+}
+
+/// [`passes_of`] over a prebuilt [`PropagationTable`], amortising the
+/// table across many satellites or windows. Results are identical.
+pub fn passes_of_with(
+    table: &PropagationTable,
+    sat: Satellite,
+    ground: &GeoPoint,
+    min_elevation_deg: f64,
+    t0: f64,
+    t1: f64,
+    step_s: f64,
+) -> Vec<SatPass> {
     assert!(step_s > 0.0 && t1 > t0);
     let gp = ground.to_ecef(0.0);
     let mut passes = Vec::new();
     let mut current: Option<SatPass> = None;
     let mut t = t0;
     while t <= t1 {
-        let elev = gp.elevation_deg_to(&constellation.position_ecef(sat, t));
+        let elev = gp.elevation_deg_to(&table.position_ecef(sat, t));
         if elev >= min_elevation_deg {
             match &mut current {
                 Some(p) => {
@@ -96,16 +118,37 @@ pub fn coverage_stats(
     t1: f64,
     step_s: f64,
 ) -> CoverageStats {
+    coverage_stats_with(
+        &mut VisibilitySearcher::new(constellation),
+        ground,
+        min_elevation_deg,
+        t0,
+        t1,
+        step_s,
+    )
+}
+
+/// [`coverage_stats`] over a reusable [`VisibilitySearcher`], amortising
+/// the propagation table across sweeps. Results are identical.
+pub fn coverage_stats_with(
+    searcher: &mut VisibilitySearcher,
+    ground: &GeoPoint,
+    min_elevation_deg: f64,
+    t0: f64,
+    t1: f64,
+    step_s: f64,
+) -> CoverageStats {
     assert!(step_s > 0.0 && t1 > t0);
     let mut samples = 0u64;
     let mut covered = 0u64;
     let mut visible_total = 0u64;
     let mut gap = 0.0;
     let mut longest_gap = 0.0f64;
+    let mut vis = Vec::new();
     let mut t = t0;
     while t <= t1 {
         samples += 1;
-        let vis = visible_satellites(constellation, ground, t, min_elevation_deg);
+        searcher.visible_into(ground, t, min_elevation_deg, &mut vis);
         visible_total += vis.len() as u64;
         if vis.is_empty() {
             gap += step_s;
@@ -133,12 +176,32 @@ pub fn serving_timeline(
     t1: f64,
     step_s: f64,
 ) -> (Vec<Option<Satellite>>, usize) {
+    serving_timeline_with(
+        &mut VisibilitySearcher::new(constellation),
+        ground,
+        min_elevation_deg,
+        t0,
+        t1,
+        step_s,
+    )
+}
+
+/// [`serving_timeline`] over a reusable [`VisibilitySearcher`]. Results
+/// are identical.
+pub fn serving_timeline_with(
+    searcher: &mut VisibilitySearcher,
+    ground: &GeoPoint,
+    min_elevation_deg: f64,
+    t0: f64,
+    t1: f64,
+    step_s: f64,
+) -> (Vec<Option<Satellite>>, usize) {
     assert!(step_s > 0.0 && t1 > t0);
     let mut serving = Vec::new();
     let mut handovers = 0;
     let mut t = t0;
     while t <= t1 {
-        let best = best_satellite(constellation, ground, t, min_elevation_deg).map(|v| v.sat);
+        let best = searcher.best(ground, t, min_elevation_deg).map(|v| v.sat);
         if let (Some(prev), Some(cur)) = (serving.last().copied().flatten(), best) {
             if prev != cur {
                 handovers += 1;
@@ -153,9 +216,131 @@ pub fn serving_timeline(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::visibility::{best_satellite, visible_satellites};
 
     fn midwest() -> GeoPoint {
         GeoPoint::new(44.5, -93.0)
+    }
+
+    /// The pre-fast-path `passes_of`, kept verbatim as the port oracle.
+    fn naive_passes_of(
+        constellation: &Constellation,
+        sat: Satellite,
+        ground: &GeoPoint,
+        min_elevation_deg: f64,
+        t0: f64,
+        t1: f64,
+        step_s: f64,
+    ) -> Vec<SatPass> {
+        let gp = ground.to_ecef(0.0);
+        let mut passes = Vec::new();
+        let mut current: Option<SatPass> = None;
+        let mut t = t0;
+        while t <= t1 {
+            let elev = gp.elevation_deg_to(&constellation.position_ecef(sat, t));
+            if elev >= min_elevation_deg {
+                match &mut current {
+                    Some(p) => {
+                        p.los_s = t;
+                        p.max_elevation_deg = p.max_elevation_deg.max(elev);
+                    }
+                    None => {
+                        current = Some(SatPass {
+                            sat,
+                            aos_s: t,
+                            los_s: t,
+                            max_elevation_deg: elev,
+                        });
+                    }
+                }
+            } else if let Some(p) = current.take() {
+                passes.push(p);
+            }
+            t += step_s;
+        }
+        if let Some(p) = current {
+            passes.push(p);
+        }
+        passes
+    }
+
+    /// The pre-fast-path `coverage_stats`, kept verbatim as the port oracle.
+    fn naive_coverage_stats(
+        constellation: &Constellation,
+        ground: &GeoPoint,
+        min_elevation_deg: f64,
+        t0: f64,
+        t1: f64,
+        step_s: f64,
+    ) -> CoverageStats {
+        let mut samples = 0u64;
+        let mut covered = 0u64;
+        let mut visible_total = 0u64;
+        let mut gap = 0.0;
+        let mut longest_gap = 0.0f64;
+        let mut t = t0;
+        while t <= t1 {
+            samples += 1;
+            let vis = visible_satellites(constellation, ground, t, min_elevation_deg);
+            visible_total += vis.len() as u64;
+            if vis.is_empty() {
+                gap += step_s;
+                longest_gap = longest_gap.max(gap);
+            } else {
+                covered += 1;
+                gap = 0.0;
+            }
+            t += step_s;
+        }
+        CoverageStats {
+            availability: covered as f64 / samples as f64,
+            mean_visible: visible_total as f64 / samples as f64,
+            longest_gap_s: longest_gap,
+        }
+    }
+
+    #[test]
+    fn passes_of_unchanged_by_fast_path_port() {
+        for c in [Constellation::starlink(), Constellation::starlink_full()] {
+            let sat = best_satellite(&c, &midwest(), 0.0, 25.0).unwrap().sat;
+            let ported = passes_of(&c, sat, &midwest(), 25.0, 0.0, 3600.0, 5.0);
+            let naive = naive_passes_of(&c, sat, &midwest(), 25.0, 0.0, 3600.0, 5.0);
+            assert_eq!(ported, naive);
+        }
+    }
+
+    #[test]
+    fn coverage_stats_unchanged_by_fast_path_port() {
+        for c in [Constellation::starlink(), Constellation::starlink_full()] {
+            for (ground, mask) in [(midwest(), 25.0), (GeoPoint::new(78.0, 15.0), 30.0)] {
+                let ported = coverage_stats(&c, &ground, mask, 0.0, 900.0, 5.0);
+                let naive = naive_coverage_stats(&c, &ground, mask, 0.0, 900.0, 5.0);
+                assert_eq!(ported, naive);
+            }
+        }
+    }
+
+    #[test]
+    fn serving_timeline_unchanged_by_fast_path_port() {
+        let c = Constellation::starlink();
+        let (ported, handovers) = serving_timeline(&c, &midwest(), 25.0, 0.0, 1800.0, 15.0);
+        // The old implementation asked the naive best-satellite scan at
+        // each step.
+        let mut naive = Vec::new();
+        let mut naive_handovers = 0;
+        let mut t = 0.0;
+        while t <= 1800.0 {
+            let best = best_satellite(&c, &midwest(), t, 25.0).map(|v| v.sat);
+            if let (Some(prev), Some(cur)) = (naive.last().copied().flatten(), best) {
+                if prev != cur {
+                    naive_handovers += 1;
+                }
+            }
+            naive.push(best);
+            t += 15.0;
+        }
+        assert_eq!(ported, naive);
+        assert_eq!(handovers, naive_handovers);
     }
 
     #[test]

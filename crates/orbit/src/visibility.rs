@@ -1,4 +1,9 @@
-//! Satellite visibility from a ground point.
+//! Satellite visibility from a ground point — the naive reference scan.
+//!
+//! The functions here propagate every satellite of the constellation per
+//! query. They are kept as the easily-auditable **test oracle**; hot paths
+//! (the link model, pass prediction, campaign generation) use the indexed
+//! fast path in [`crate::fastpath`], which returns bit-identical results.
 
 use crate::constellation::{Constellation, Satellite};
 use leo_geo::point::GeoPoint;
@@ -58,11 +63,7 @@ pub fn best_satellite(
 ) -> Option<SatView> {
     visible_satellites(constellation, ground, t_s, min_elevation_deg)
         .into_iter()
-        .max_by(|a, b| {
-            a.elevation_deg
-                .partial_cmp(&b.elevation_deg)
-                .expect("elevations are finite")
-        })
+        .max_by(|a, b| a.elevation_deg.total_cmp(&b.elevation_deg))
 }
 
 /// Worst-case central angle (observer ↔ sub-satellite point) at which a

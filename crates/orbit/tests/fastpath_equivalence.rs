@@ -1,0 +1,91 @@
+//! Property tests: the orbit fast path is bit-for-bit equivalent to the
+//! naive full-constellation scan for arbitrary (ground point, time,
+//! elevation mask) — including the 97.6° polar shell and high-latitude
+//! observers — with and without temporal coherence.
+
+use leo_geo::point::GeoPoint;
+use leo_orbit::constellation::Constellation;
+use leo_orbit::fastpath::{
+    best_satellite_fast, visible_satellites_fast, PropagationTable, VisibilitySearcher,
+};
+use leo_orbit::visibility::{best_satellite, visible_satellites};
+use proptest::prelude::*;
+
+fn constellation_for(full: bool) -> Constellation {
+    if full {
+        Constellation::starlink_full()
+    } else {
+        Constellation::starlink()
+    }
+}
+
+proptest! {
+    /// One-shot fast queries equal the naive oracle everywhere, for both
+    /// the single 53° shell and the full four-shell constellation (whose
+    /// 97.6° near-polar shell exercises the retrograde pruning geometry).
+    #[test]
+    fn fast_path_equals_naive_scan(
+        lat in -89.0..89.0f64,
+        lon in -180.0..180.0f64,
+        t_s in 0.0..100_000.0f64,
+        mask in 5.0..60.0f64,
+        full in 0u8..2,
+    ) {
+        let c = constellation_for(full == 1);
+        let table = PropagationTable::new(&c);
+        let ground = GeoPoint::new(lat, lon);
+        let naive = visible_satellites(&c, &ground, t_s, mask);
+        let fast = visible_satellites_fast(&table, &ground, t_s, mask);
+        prop_assert_eq!(naive, fast);
+        prop_assert_eq!(
+            best_satellite(&c, &ground, t_s, mask),
+            best_satellite_fast(&table, &ground, t_s, mask)
+        );
+    }
+
+    /// High-latitude observers (including beyond the 53° shell's reach,
+    /// where only the polar shell serves) agree exactly.
+    #[test]
+    fn fast_path_equals_naive_at_high_latitudes(
+        lat_abs in 60.0..89.5f64,
+        south in 0u8..2,
+        lon in -180.0..180.0f64,
+        t_s in 0.0..50_000.0f64,
+        mask in 10.0..45.0f64,
+    ) {
+        let lat = if south == 1 { -lat_abs } else { lat_abs };
+        let c = Constellation::starlink_full();
+        let table = PropagationTable::new(&c);
+        let ground = GeoPoint::new(lat, lon);
+        prop_assert_eq!(
+            visible_satellites(&c, &ground, t_s, mask),
+            visible_satellites_fast(&table, &ground, t_s, mask)
+        );
+    }
+
+    /// The stateful searcher stays equivalent across a coherent 1 Hz query
+    /// sequence with a moving observer — the drive-trace access pattern,
+    /// where cached pruning windows are reused between queries.
+    #[test]
+    fn coherent_searcher_equals_naive_scan(
+        lat in -80.0..80.0f64,
+        lon in -180.0..180.0f64,
+        t0 in 0.0..100_000.0f64,
+        mask in 10.0..50.0f64,
+        heading in 0.0..360.0f64,
+        speed_kmh in 0.0..200.0f64,
+        steps in 5usize..40,
+        full in 0u8..2,
+    ) {
+        let c = constellation_for(full == 1);
+        let mut searcher = VisibilitySearcher::new(&c);
+        let start = GeoPoint::new(lat, lon);
+        for i in 0..steps {
+            let t = t0 + i as f64;
+            let ground = start.destination(heading, speed_kmh / 3600.0 * i as f64);
+            let naive = visible_satellites(&c, &ground, t, mask);
+            let fast = searcher.visible(&ground, t, mask);
+            prop_assert_eq!(naive, fast, "step {} t {}", i, t);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Orbit fast-path benchmark: naive scan vs. indexed fast path, plus the
+//! end-to-end campaign-generation wall clock, emitting `BENCH_orbit.json`.
+//!
+//! This is the repo's perf-trajectory recorder for the orbit subsystem:
+//! run it after touching `crates/orbit` and commit the refreshed JSON.
+//!
+//! ```sh
+//! cargo run --release --example orbit_bench                 # full run
+//! cargo run --release --example orbit_bench -- --quick      # CI smoke
+//! cargo run --release --example orbit_bench -- --out /tmp/b.json
+//! ```
+//!
+//! Every timed configuration is also cross-checked for exact equality
+//! against the naive oracle, so a regression in correctness fails the run
+//! rather than silently recording fast-but-wrong numbers.
+
+use leo_cell::dataset::campaign::{Campaign, CampaignConfig};
+use leo_cell::geo::point::GeoPoint;
+use leo_cell::orbit::constellation::Constellation;
+use leo_cell::orbit::fastpath::{visible_satellites_fast, PropagationTable, VisibilitySearcher};
+use leo_cell::orbit::visibility::visible_satellites;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Medians are robust to container-scheduler noise; each measurement is
+/// the median of `reps` timings of a `queries`-query sweep.
+fn median_us_per_query(reps: usize, queries: usize, mut sweep: impl FnMut(usize) -> usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let mut sink = 0usize;
+            for q in 0..queries {
+                sink = sink.wrapping_add(sweep(q));
+            }
+            std::hint::black_box(sink);
+            start.elapsed().as_secs_f64() * 1e6 / queries as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct VisibilityRow {
+    name: &'static str,
+    total_sats: u32,
+    naive_us: f64,
+    fast_oneshot_us: f64,
+    fast_searcher_1hz_us: f64,
+}
+
+fn bench_visibility(
+    name: &'static str,
+    constellation: Constellation,
+    reps: usize,
+) -> VisibilityRow {
+    let ground = GeoPoint::new(44.5, -93.3);
+    let mask = 25.0;
+    let queries = 64;
+    let table = PropagationTable::new(&constellation);
+
+    // Correctness cross-check before timing anything.
+    let mut searcher = VisibilitySearcher::new(&constellation);
+    for q in 0..queries {
+        let t = q as f64;
+        let oracle = visible_satellites(&constellation, &ground, t, mask);
+        assert_eq!(oracle, visible_satellites_fast(&table, &ground, t, mask));
+        assert_eq!(oracle, searcher.visible(&ground, t, mask));
+    }
+
+    let naive_us = median_us_per_query(reps, queries, |q| {
+        visible_satellites(&constellation, &ground, q as f64 * 15.0, mask).len()
+    });
+    let fast_oneshot_us = median_us_per_query(reps, queries, |q| {
+        visible_satellites_fast(&table, &ground, q as f64 * 15.0, mask).len()
+    });
+    let mut searcher = VisibilitySearcher::new(&constellation);
+    let mut views = Vec::new();
+    let mut t_base = 0.0;
+    let fast_searcher_1hz_us = median_us_per_query(reps, queries, |q| {
+        // Monotone 1 Hz time across reps: the coherent access pattern.
+        if q == 0 {
+            t_base += queries as f64;
+        }
+        searcher.visible_into(&ground, t_base + q as f64, mask, &mut views);
+        views.len()
+    });
+
+    VisibilityRow {
+        name,
+        total_sats: constellation.total_sats(),
+        naive_us,
+        fast_oneshot_us,
+        fast_searcher_1hz_us,
+    }
+}
+
+fn bench_campaign(scale: f64, reps: usize) -> (f64, f64) {
+    let config = || CampaignConfig {
+        scale,
+        seed: 7,
+        ..Default::default()
+    };
+    // Warm one generation of each mode and verify the determinism
+    // contract: the naive and fast orbit paths yield identical campaigns.
+    std::env::set_var("LEO_ORBIT_NAIVE", "1");
+    let naive_campaign = Campaign::generate(config());
+    std::env::remove_var("LEO_ORBIT_NAIVE");
+    let fast_campaign = Campaign::generate(config());
+    assert_eq!(naive_campaign.traces, fast_campaign.traces);
+    assert_eq!(naive_campaign.records, fast_campaign.records);
+
+    let time_ms = |reps: usize| -> f64 {
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(Campaign::generate(config()));
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+
+    std::env::set_var("LEO_ORBIT_NAIVE", "1");
+    let naive_ms = time_ms(reps);
+    std::env::remove_var("LEO_ORBIT_NAIVE");
+    let fast_ms = time_ms(reps);
+    (naive_ms, fast_ms)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_orbit.json".to_string());
+    let (vis_reps, campaign_reps, campaign_scale) = if quick { (3, 1, 0.01) } else { (9, 3, 0.02) };
+
+    println!(
+        "orbit fast-path benchmark ({})",
+        if quick { "quick" } else { "full" }
+    );
+
+    let rows = [
+        bench_visibility("starlink_shell1", Constellation::starlink(), vis_reps),
+        bench_visibility("starlink_full", Constellation::starlink_full(), vis_reps),
+    ];
+    for r in &rows {
+        println!(
+            "  {:>16} ({:>4} sats): naive {:>9.2} µs | fast one-shot {:>7.2} µs ({:>5.1}×) | searcher 1 Hz {:>7.2} µs ({:>5.1}×)",
+            r.name,
+            r.total_sats,
+            r.naive_us,
+            r.fast_oneshot_us,
+            r.naive_us / r.fast_oneshot_us,
+            r.fast_searcher_1hz_us,
+            r.naive_us / r.fast_searcher_1hz_us,
+        );
+    }
+
+    let (campaign_naive_ms, campaign_fast_ms) = bench_campaign(campaign_scale, campaign_reps);
+    println!(
+        "  campaign generate (scale {campaign_scale}): naive orbit {campaign_naive_ms:.0} ms | fast orbit {campaign_fast_ms:.0} ms ({:.2}×)",
+        campaign_naive_ms / campaign_fast_ms
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"leo-cell/orbit-bench/v1\",\n");
+    json.push_str("  \"generated_by\": \"cargo run --release --example orbit_bench\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"visible_satellites_us_per_query\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"total_sats\": {}, \"naive\": {:.3}, \"fast_oneshot\": {:.3}, \"fast_searcher_1hz\": {:.3}, \"speedup_oneshot\": {:.2}, \"speedup_searcher\": {:.2} }}{}",
+            r.name,
+            r.total_sats,
+            r.naive_us,
+            r.fast_oneshot_us,
+            r.fast_searcher_1hz_us,
+            r.naive_us / r.fast_oneshot_us,
+            r.naive_us / r.fast_searcher_1hz_us,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"campaign_generation_ms\": {\n");
+    let _ = writeln!(json, "    \"scale\": {campaign_scale},");
+    let _ = writeln!(json, "    \"naive_orbit\": {campaign_naive_ms:.1},");
+    let _ = writeln!(json, "    \"fast_orbit\": {campaign_fast_ms:.1},");
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.2}",
+        campaign_naive_ms / campaign_fast_ms
+    );
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -13,9 +13,9 @@
 use leo_cell::geo::point::GeoPoint;
 use leo_cell::orbit::constellation::{Constellation, Shell};
 use leo_cell::orbit::dish::DishPlan;
+use leo_cell::orbit::fastpath::VisibilitySearcher;
 use leo_cell::orbit::ground::eq1_one_way_latency_ms;
-use leo_cell::orbit::passes::{coverage_stats, passes_of, serving_timeline};
-use leo_cell::orbit::visibility::best_satellite;
+use leo_cell::orbit::passes::{coverage_stats_with, passes_of_with, serving_timeline_with};
 
 fn arg(args: &[String], key: &str, default: f64) -> f64 {
     args.iter()
@@ -46,10 +46,13 @@ fn main() {
         "Observer at ({:.2}, {:.2}):\n",
         ground.lat_deg, ground.lon_deg
     );
+    // One searcher (and its propagation table) serves every sweep below —
+    // the fast path returns bit-identical results to the naive scan.
+    let mut searcher = VisibilitySearcher::new(&constellation);
     for plan in DishPlan::ALL {
         let mask = plan.min_elevation_deg();
-        let stats = coverage_stats(&constellation, &ground, mask, 0.0, 1800.0, 15.0);
-        let (_, handovers) = serving_timeline(&constellation, &ground, mask, 0.0, 1800.0, 15.0);
+        let stats = coverage_stats_with(&mut searcher, &ground, mask, 0.0, 1800.0, 15.0);
+        let (_, handovers) = serving_timeline_with(&mut searcher, &ground, mask, 0.0, 1800.0, 15.0);
         println!(
             "{} (mask {mask:.0}°): availability {:.1}%, mean visible {:.1} sats, \
              {handovers} handovers / 30 min, longest gap {:.0}s",
@@ -61,12 +64,12 @@ fn main() {
     }
 
     // Follow the currently-best satellite through its pass.
-    if let Some(view) = best_satellite(&constellation, &ground, 0.0, 25.0) {
+    if let Some(view) = searcher.best(&ground, 0.0, 25.0) {
         println!(
             "\nBest satellite now: shell {} plane {} slot {} at {:.1}° elevation, {:.0} km slant range",
             view.sat.shell, view.sat.plane, view.sat.slot, view.elevation_deg, view.range_km
         );
-        let passes = passes_of(&constellation, view.sat, &ground, 25.0, 0.0, 5700.0, 5.0);
+        let passes = passes_of_with(searcher.table(), view.sat, &ground, 25.0, 0.0, 5700.0, 5.0);
         println!("Its passes over the next ~95 min (one orbit):");
         for p in passes {
             println!(

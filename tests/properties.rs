@@ -2,11 +2,15 @@
 //! inputs, spanning crate boundaries.
 
 use leo_cell::dataset::campaign::{Campaign, CampaignConfig};
+use leo_cell::geo::point::GeoPoint;
 use leo_cell::link::condition::LinkCondition;
 use leo_cell::link::mahimahi::MahimahiTrace;
 use leo_cell::link::trace::LinkTrace;
 use leo_cell::measure::iperf::{IperfConfig, IperfRunner};
 use leo_cell::netsim::{ConstPipe, Pipe, SimTime};
+use leo_cell::orbit::constellation::Constellation;
+use leo_cell::orbit::fastpath::VisibilitySearcher;
+use leo_cell::orbit::visibility::{best_satellite, visible_satellites};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -139,6 +143,36 @@ proptest! {
                 "lerp not monotone: {x_f} -> {y_f} against {a_f} -> {b_f}");
             // And both stay inside the [min, max] envelope of a and b.
             prop_assert!(x_f >= a_f.min(b_f) - 1e-12 && x_f <= a_f.max(b_f) + 1e-12);
+        }
+    }
+
+    /// The orbit fast path (propagation table + plane pruning + coherent
+    /// searcher) is bit-identical to the naive full-constellation scan,
+    /// across the whole pipeline's query pattern: repeated queries at 1 Hz
+    /// from a moving observer, over the full four-shell constellation.
+    #[test]
+    fn orbit_fast_path_equals_naive_scan(
+        lat in -85.0..85.0f64,
+        lon in -180.0..180.0f64,
+        t0 in 0.0..90_000.0f64,
+        mask in 10.0..55.0f64,
+        heading in 0.0..360.0f64,
+        steps in 2usize..12,
+    ) {
+        let c = Constellation::starlink_full();
+        let mut searcher = VisibilitySearcher::new(&c);
+        let start = GeoPoint::new(lat, lon);
+        for i in 0..steps {
+            let t = t0 + i as f64;
+            let ground = start.destination(heading, 0.03 * i as f64);
+            prop_assert_eq!(
+                visible_satellites(&c, &ground, t, mask),
+                searcher.visible(&ground, t, mask)
+            );
+            prop_assert_eq!(
+                best_satellite(&c, &ground, t, mask),
+                searcher.best(&ground, t, mask)
+            );
         }
     }
 
