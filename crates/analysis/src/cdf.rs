@@ -22,7 +22,10 @@ impl Cdf {
             samples.iter().all(|x| x.is_finite()),
             "CDF samples must be finite"
         );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite by assertion"));
+        // total_cmp, not partial_cmp().expect(): the assertion above is
+        // the documented rejection point; the sort itself must stay
+        // panic-free even if the two lines ever drift apart.
+        samples.sort_by(f64::total_cmp);
         Self { sorted: samples }
     }
 
@@ -145,6 +148,21 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn nan_samples_rejected() {
         let _ = Cdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_samples_rejected() {
+        // The documented contract covers ±∞, not just NaN: an infinite
+        // sample would drag every upper quantile to ∞ silently.
+        let _ = Cdf::new(vec![1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn signed_zeros_sort_without_panicking() {
+        let c = Cdf::new(vec![0.0, -0.0, 1.0]);
+        assert_eq!(c.min(), Some(-0.0));
+        assert_eq!(c.eval(0.0), 2.0 / 3.0);
     }
 
     #[test]

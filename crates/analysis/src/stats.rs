@@ -15,13 +15,18 @@ pub struct BoxStats {
 }
 
 impl BoxStats {
-    /// Computes box statistics; `None` on an empty or non-finite input.
+    /// Computes box statistics; `None` on an empty or non-finite input
+    /// (NaN or ±∞ would silently poison every quantile).
     pub fn from_samples(samples: &[f64]) -> Option<Self> {
         if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
             return None;
         }
+        // total_cmp rather than partial_cmp().expect(): the rejection
+        // above makes NaN unreachable today, but a sort must never be
+        // the thing that panics if that guard and this line drift apart
+        // (the workspace-wide NaN-robustness convention).
         let mut v = samples.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(f64::total_cmp);
         let q = |p: f64| {
             let idx = p * (v.len() - 1) as f64;
             let lo = idx.floor() as usize;
@@ -85,8 +90,23 @@ mod tests {
 
     #[test]
     fn box_stats_rejects_bad_input() {
+        // The documented contract: non-finite inputs are *rejected*
+        // (None), never total-ordered into the quantiles.
         assert!(BoxStats::from_samples(&[]).is_none());
         assert!(BoxStats::from_samples(&[1.0, f64::NAN]).is_none());
+        assert!(BoxStats::from_samples(&[1.0, f64::INFINITY]).is_none());
+        assert!(BoxStats::from_samples(&[f64::NEG_INFINITY, 1.0]).is_none());
+        assert!(BoxStats::from_samples(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn box_stats_handles_signed_zero() {
+        // total_cmp orders -0.0 before 0.0; the summary must treat the
+        // pair as numerically equal zeros rather than panic or reorder.
+        let s = BoxStats::from_samples(&[0.0, -0.0, 0.0]).unwrap();
+        assert_eq!(s.min, -0.0);
+        assert_eq!(s.median, 0.0);
+        assert_eq!(s.max, 0.0);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Compact, human-diffable fingerprints of simulation output.
+//!
+//! A [`DigestLine`] carries three views of one artifact: an element
+//! count (did the shape change?), a magnitude sum (did the values drift?)
+//! and an FNV-1a hash over the exact bit patterns (did *anything*
+//! change?). One line per artifact keeps the committed golden file
+//! readable in a diff: a perturbed model changes the `sum`/`fnv` of the
+//! affected lines and nothing else.
+
+use std::fmt;
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms,
+/// which is all a golden fingerprint needs (this is not a security hash).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorbs an `f64` by exact bit pattern — two runs digest equal only
+    /// if every float is bit-identical, the determinism contract's unit.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorbs a string's UTF-8 bytes, length-prefixed so concatenations
+    /// can't collide.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One golden-file line: a named artifact's fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestLine {
+    /// Artifact name, e.g. `campaign.records` or `figure.fig9`.
+    pub name: String,
+    /// Element count (samples, records, characters…).
+    pub count: u64,
+    /// A magnitude sum over the artifact's headline values — drifts
+    /// visibly when a model changes, unlike the hash.
+    pub sum: f64,
+    /// FNV-1a over the exact contents.
+    pub fnv: u64,
+}
+
+impl fmt::Display for DigestLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // 6 decimal places keeps the sum diffable; the hash carries the
+        // full precision.
+        write!(
+            f,
+            "{} count={} sum={:.6} fnv={:#018x}",
+            self.name, self.count, self.sum, self.fnv
+        )
+    }
+}
+
+impl DigestLine {
+    /// Parses a line produced by `Display` (used by the goldens checker).
+    pub fn parse(line: &str) -> Option<Self> {
+        let mut parts = line.split_whitespace();
+        let name = parts.next()?.to_string();
+        let count = parts.next()?.strip_prefix("count=")?.parse().ok()?;
+        let sum = parts.next()?.strip_prefix("sum=")?.parse().ok()?;
+        let fnv_s = parts.next()?.strip_prefix("fnv=")?;
+        let fnv = u64::from_str_radix(fnv_s.strip_prefix("0x")?, 16).ok()?;
+        Some(Self {
+            name,
+            count,
+            sum,
+            fnv,
+        })
+    }
+}
+
+/// Digests a float series: count, plain sum, and an order-sensitive hash
+/// of the exact bit patterns.
+pub fn digest_series(name: impl Into<String>, values: &[f64]) -> DigestLine {
+    let mut h = Fnv64::new();
+    for &v in values {
+        h.write_f64(v);
+    }
+    DigestLine {
+        name: name.into(),
+        count: values.len() as u64,
+        sum: values.iter().sum(),
+        fnv: h.finish(),
+    }
+}
+
+/// Digests rendered text (figure output, report tables): character count,
+/// line count as the sum, and a hash of the exact bytes.
+pub fn digest_text(name: impl Into<String>, text: &str) -> DigestLine {
+    DigestLine {
+        name: name.into(),
+        count: text.len() as u64,
+        sum: text.lines().count() as f64,
+        fnv: Fnv64::new().write_str(text).finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Reference FNV-1a vectors: empty input is the offset basis, and
+        // "a" / "foobar" match the published 64-bit values.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::new().write(b"a").finish(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv64::new().write(b"foobar").finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn series_digest_is_order_and_bit_sensitive() {
+        let a = digest_series("s", &[1.0, 2.0, 3.0]);
+        let b = digest_series("s", &[2.0, 1.0, 3.0]);
+        assert_eq!(a.sum, b.sum, "sums ignore order");
+        assert_ne!(a.fnv, b.fnv, "hash must see order");
+        let c = digest_series("s", &[1.0 + f64::EPSILON, 2.0, 3.0]);
+        assert_ne!(a.fnv, c.fnv, "hash must see a 1-ulp change");
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let d = digest_series("campaign.records", &[1.5, -2.25, 1e9]);
+        let back = DigestLine::parse(&d.to_string()).expect("parses");
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.count, d.count);
+        assert_eq!(back.fnv, d.fnv);
+        assert!((back.sum - d.sum).abs() <= 1e-6 * d.sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn negative_zero_differs_from_zero_in_hash() {
+        let a = digest_series("z", &[0.0]);
+        let b = digest_series("z", &[-0.0]);
+        assert_ne!(a.fnv, b.fnv);
+    }
+}

@@ -1,0 +1,376 @@
+//! The seeded schedule fuzzer.
+//!
+//! Composes random pipe stacks (Const/Trace base, optional fault and
+//! jitter wrappers), random fault schedules, and random transport
+//! workloads; drives them deterministically; and asserts every
+//! registered invariant after every step. A violation panics with the
+//! case seed and a copy-pasteable reproduction command, so any failure
+//! found in CI replays locally in milliseconds.
+
+use crate::invariant::{audit_invariants, check_all, pipe_invariants};
+use leo_link::mahimahi::MahimahiTrace;
+use leo_netsim::{
+    ConstPipe, FaultPipe, FaultSchedule, JitterPipe, LinkId, Pipe, PipeStats, SimTime, Simulator,
+    TracePipe,
+};
+use leo_transport::cc::CcAlgorithm;
+use leo_transport::tcp::{TcpConfig, TcpReceiver, TcpSender};
+use leo_transport::udp::{UdpBlaster, UdpSink};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fuzzer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Number of cases to run.
+    pub cases: u64,
+    /// Master seed; case `i` runs under `case_seed(seed, i)`.
+    pub seed: u64,
+}
+
+/// What one case exercised.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseReport {
+    /// Packets offered to the standalone pipe stack.
+    pub offers: u64,
+    /// Of those, admitted for delivery.
+    pub delivered: u64,
+    /// Whether the case also ran a transport workload simulation.
+    pub transport: bool,
+}
+
+/// Aggregate over a fuzz run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzSummary {
+    pub cases: u64,
+    pub offers: u64,
+    pub delivered: u64,
+    pub transport_runs: u64,
+}
+
+impl std::fmt::Display for FuzzSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cases: {} offers, {} delivered, {} transport sims, all invariants held",
+            self.cases, self.offers, self.delivered, self.transport_runs
+        )
+    }
+}
+
+/// splitmix64 — the same per-unit seed derivation idiom the campaign
+/// generator uses, so case seeds are decorrelated even for adjacent
+/// indices.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seed case `index` of a run with master `seed` executes under.
+pub fn case_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(index.wrapping_add(1)))
+}
+
+/// Runs the full campaign of fuzz cases; panics with reproduction
+/// instructions on the first violation.
+pub fn run(cfg: &FuzzConfig) -> FuzzSummary {
+    let mut summary = FuzzSummary::default();
+    for i in 0..cfg.cases {
+        let r = run_case(case_seed(cfg.seed, i));
+        summary.cases += 1;
+        summary.offers += r.offers;
+        summary.delivered += r.delivered;
+        summary.transport_runs += r.transport as u64;
+    }
+    summary
+}
+
+macro_rules! fail {
+    ($seed:expr, $($arg:tt)*) => {
+        panic!(
+            "conformance fuzz violation (case-seed {seed:#018x}): {detail}\n\
+             reproduce with: cargo run --release --example conformance -- --case-seed {seed:#018x}",
+            seed = $seed,
+            detail = format_args!($($arg)*),
+        )
+    };
+}
+
+/// The randomly composed subject of one case.
+struct PipeCase {
+    pipe: Box<dyn Pipe>,
+    /// Deliveries can arrive out of admission order (jitter wrapper or a
+    /// fault window adding extra delay), so the FIFO check is off.
+    reorders: bool,
+}
+
+/// Builds a random Const/Trace base with optional Fault and Jitter
+/// wrappers. `allow_reorder` gates the delay-adding features so the TCP
+/// sub-case can stay within its RTO budget.
+fn random_stack(rng: &mut SmallRng) -> PipeCase {
+    let delay = SimTime::from_millis(rng.gen_range(0..=100));
+    let queue = rng.gen_range(3_000..=1_000_000u64);
+    let mut base: Box<dyn Pipe> = if rng.gen_bool(0.5) {
+        Box::new(ConstPipe::new(
+            rng.gen_range(0.5..500.0),
+            delay,
+            rng.gen_range(0.0..0.3),
+            queue,
+        ))
+    } else {
+        // A 1 Hz capacity series with deliberate dead seconds, replayed
+        // through the wrapping Mahimahi schedule.
+        let len = rng.gen_range(1..=40usize);
+        let caps: Vec<f64> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.2) {
+                    0.0
+                } else {
+                    rng.gen_range(1.0..200.0)
+                }
+            })
+            .collect();
+        let mm = MahimahiTrace::from_capacity_series(&caps);
+        if mm.is_empty() {
+            // All-dead series yields an empty schedule; fall back to a
+            // constant pipe so the case still exercises something.
+            Box::new(ConstPipe::new(
+                rng.gen_range(0.5..500.0),
+                delay,
+                rng.gen_range(0.0..0.3),
+                queue,
+            ))
+        } else {
+            Box::new(TracePipe::new(mm, delay, queue))
+        }
+    };
+    let mut reorders = false;
+    if rng.gen_bool(0.6) {
+        let mut sched = FaultSchedule::new();
+        for _ in 0..rng.gen_range(1..=3) {
+            let a = rng.gen_range(0..=18u64);
+            let b = a + rng.gen_range(1..=6);
+            sched = match rng.gen_range(0..3) {
+                0 => sched.outage_s(a, b),
+                1 => sched.loss_s(a, b, rng.gen_range(0.05..0.9)),
+                _ => {
+                    reorders = true; // extra delay ends abruptly at b
+                    sched.extra_delay_s(a, b, rng.gen_range(1..=200))
+                }
+            };
+        }
+        base = Box::new(FaultPipe::new(base, sched));
+    }
+    if rng.gen_bool(0.3) {
+        reorders = true;
+        base = Box::new(JitterPipe::new(
+            base,
+            SimTime::from_millis(rng.gen_range(1..=20)),
+        ));
+    }
+    PipeCase {
+        pipe: base,
+        reorders,
+    }
+}
+
+fn assert_stats_conserved(seed: u64, stage: &str, stats: &PipeStats) {
+    if let Some(v) = check_all(&pipe_invariants(), stats).first() {
+        fail!(seed, "{stage}: {v} ({stats:?})");
+    }
+}
+
+/// Runs one case: a standalone offer-loop over a random pipe stack, plus
+/// (for a deterministic subset of seeds) a full transport simulation over
+/// another random stack.
+pub fn run_case(seed: u64) -> CaseReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = CaseReport::default();
+
+    // --- Layer 1: direct offer-loop over a random stack. ---
+    let mut case = random_stack(&mut rng);
+    let mut offer_rng = SmallRng::seed_from_u64(splitmix64(seed));
+    let offers = rng.gen_range(50..=400u64);
+    let mut now = SimTime::ZERO;
+    let mut last_delivery = SimTime::ZERO;
+    for i in 0..offers {
+        now += SimTime::from_nanos(rng.gen_range(0..=5_000_000));
+        let size = rng.gen_range(40..=1500u32);
+        let admitted = case.pipe.offer(size, now, &mut offer_rng);
+        report.offers += 1;
+        if let Some(at) = admitted {
+            report.delivered += 1;
+            if at < now {
+                fail!(
+                    seed,
+                    "offer {i}: delivery at {:?} precedes its offer at {:?}",
+                    at,
+                    now
+                );
+            }
+            if !case.reorders && at < last_delivery {
+                fail!(
+                    seed,
+                    "offer {i}: FIFO pipe delivered at {:?} before the previous delivery {:?}",
+                    at,
+                    last_delivery
+                );
+            }
+            last_delivery = last_delivery.max(at);
+        }
+        // Conservation is exact after *every* offer, not just at the end.
+        assert_stats_conserved(seed, &format!("after offer {i}"), &case.pipe.stats());
+    }
+    let final_stats = case.pipe.stats();
+    if final_stats.offered_packets != report.offers {
+        fail!(
+            seed,
+            "stats counted {} offers, the harness made {}",
+            final_stats.offered_packets,
+            report.offers
+        );
+    }
+    if final_stats.delivered_packets != report.delivered {
+        fail!(
+            seed,
+            "stats counted {} deliveries, the harness observed {}",
+            final_stats.delivered_packets,
+            report.delivered
+        );
+    }
+    if case.pipe.queued_bytes(now) > final_stats.offered_bytes {
+        fail!(seed, "queued bytes exceed everything ever offered");
+    }
+
+    // --- Layer 2: a transport workload for a subset of seeds. ---
+    match rng.gen_range(0..8u32) {
+        0 | 1 => {
+            run_udp_case(seed, &mut rng);
+            report.transport = true;
+        }
+        2 => {
+            run_tcp_case(seed, &mut rng);
+            report.transport = true;
+        }
+        _ => {}
+    }
+    report
+}
+
+/// UDP blast through a random stack: end-to-end counters must reconcile
+/// with the pipe's, and the completed run must audit clean.
+fn run_udp_case(seed: u64, rng: &mut SmallRng) {
+    let case = random_stack(rng);
+    let secs = rng.gen_range(2..=6u64);
+    let rate = rng.gen_range(1.0..100.0);
+    let mut sim = Simulator::new(splitmix64(seed ^ 0xdeb5));
+    let sink = sim.add_node(Box::new(UdpSink::new(1)));
+    let blaster = sim.add_node(Box::new(UdpBlaster::new(
+        1,
+        LinkId(0),
+        rate,
+        SimTime::from_secs(secs),
+    )));
+    sim.add_link(Box::new(case.pipe), sink);
+    sim.with_agent(blaster, |a, ctx| {
+        a.as_any_mut()
+            .downcast_mut::<UdpBlaster>()
+            .expect("blaster")
+            .start(ctx)
+    });
+    sim.run_until(SimTime::from_secs(secs + 2));
+    let audit = sim.audit();
+    if let Some(v) = check_all(&audit_invariants(), &audit).first() {
+        fail!(seed, "udp sim: {v}");
+    }
+    let sent = sim.agent_as::<UdpBlaster>(blaster).packets_sent;
+    let sink = sim.agent_as::<UdpSink>(sink);
+    let stats = audit.links[0];
+    if stats.offered_packets != sent {
+        fail!(
+            seed,
+            "udp sim: pipe saw {} offers, blaster sent {sent}",
+            stats.offered_packets
+        );
+    }
+    if sink.packets_received > stats.delivered_packets {
+        fail!(
+            seed,
+            "udp sim: sink received {} of {} admitted packets",
+            sink.packets_received,
+            stats.delivered_packets
+        );
+    }
+    let loss = sink.loss_rate();
+    if !(0.0..=1.0).contains(&loss) {
+        fail!(seed, "udp sim: loss rate {loss} outside [0, 1]");
+    }
+}
+
+/// TCP download over a lossy constant pipe: goodput must stay within the
+/// data pipe's deliveries, and the completed run must audit clean.
+fn run_tcp_case(seed: u64, rng: &mut SmallRng) {
+    let secs = rng.gen_range(3..=8u64);
+    let data = ConstPipe::new(
+        rng.gen_range(1.0..100.0),
+        SimTime::from_millis(rng.gen_range(1..=50)),
+        rng.gen_range(0.0..0.05),
+        rng.gen_range(30_000..=500_000u64),
+    );
+    let ack = ConstPipe::new(100.0, SimTime::from_millis(10), 0.0, 1 << 22);
+    let mut sim = Simulator::new(splitmix64(seed ^ 0x7c9));
+    let sender = sim.add_node(Box::new(TcpSender::new(TcpConfig {
+        flow: 1,
+        cc: CcAlgorithm::Cubic,
+        rwnd_packets: 1 << 16,
+        data_link: LinkId(0),
+        limit_packets: None,
+    })));
+    let receiver = sim.add_node(Box::new(TcpReceiver::new(1, LinkId(1))));
+    sim.add_link(Box::new(data), receiver);
+    sim.add_link(Box::new(ack), sender);
+    sim.with_agent(sender, |a, ctx| {
+        a.as_any_mut()
+            .downcast_mut::<TcpSender>()
+            .expect("sender")
+            .start(ctx)
+    });
+    sim.run_until(SimTime::from_secs(secs));
+    let audit = sim.audit();
+    if let Some(v) = check_all(&audit_invariants(), &audit).first() {
+        fail!(seed, "tcp sim: {v}");
+    }
+    let goodput = sim.agent_as::<TcpReceiver>(receiver).meter.total_bytes();
+    if goodput > audit.links[0].delivered_bytes {
+        fail!(
+            seed,
+            "tcp sim: receiver delivered {goodput} bytes, the data pipe only carried {}",
+            audit.links[0].delivered_bytes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_decorrelated() {
+        let a = case_seed(7, 0);
+        let b = case_seed(7, 1);
+        let c = case_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And stable: the repro command depends on this exact derivation.
+        assert_eq!(case_seed(7, 0), a);
+    }
+
+    #[test]
+    fn smoke_fuzz_holds_invariants() {
+        let s = run(&FuzzConfig { cases: 25, seed: 7 });
+        assert_eq!(s.cases, 25);
+        assert!(s.offers >= 25 * 50);
+    }
+}

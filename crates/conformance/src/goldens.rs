@@ -1,0 +1,225 @@
+//! Golden digests of the canonical pipelines.
+//!
+//! [`compute_digests`] fingerprints three canonical artifacts — the
+//! small campaign every test fixture shares, a full sweep of the eight
+//! built-in scenarios, and every registered figure pipeline — and
+//! [`compare`] diffs the result against the committed golden file. Any
+//! behavior change in any layer (orbit, link model, transport, figure
+//! aggregation, scenario engine) shifts at least one line and fails
+//! loudly; intentional changes are re-blessed with
+//! `cargo run --release --example conformance -- --bless`.
+
+use crate::digest::{digest_text, DigestLine, Fnv64};
+use crate::invariant::{campaign_invariants, check_all, report_invariants, Violation};
+use leo_core::all_figures;
+use leo_dataset::campaign::CampaignConfig;
+use leo_link::trace::LinkTrace;
+use leo_scenario::library::builtin_scenarios;
+use leo_scenario::runner::ScenarioRunner;
+use std::path::PathBuf;
+
+/// Scale of the canonical campaign (= [`CampaignConfig::small`]).
+pub const CAMPAIGN_SCALE: f64 = 0.02;
+/// Seed of the canonical campaign (= the default seed).
+pub const CAMPAIGN_SEED: u64 = 0xcafe_2023;
+/// Scale of the canonical scenario sweep.
+pub const SCENARIO_SCALE: f64 = 0.01;
+/// Seed of the canonical scenario sweep.
+pub const SCENARIO_SEED: u64 = 0x5eed;
+
+/// The committed golden file, resolved relative to this crate so the
+/// checker works from any working directory.
+pub fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens/conformance.txt")
+}
+
+fn digest_trace(name: String, trace: &LinkTrace) -> DigestLine {
+    let mut h = Fnv64::new();
+    let mut cap_sum = 0.0;
+    for c in trace.samples() {
+        h.write_f64(c.capacity_mbps)
+            .write_f64(c.rtt_ms)
+            .write_f64(c.loss);
+        cap_sum += c.capacity_mbps;
+    }
+    DigestLine {
+        name,
+        count: trace.duration_s(),
+        sum: cap_sum,
+        fnv: h.finish(),
+    }
+}
+
+/// Computes the full digest set. Deterministic by construction: every
+/// input below is a pure function of fixed `(scale, seed)` configs, and
+/// the campaign/scenario engines are byte-identical across thread
+/// counts, so the result matches at `LEO_CAMPAIGN_THREADS=1` and `=4`.
+pub fn compute_digests() -> Vec<DigestLine> {
+    let mut out = Vec::new();
+
+    // 1. The canonical campaign: per-network traces + the test records.
+    let campaign = leo_core::cached_campaign(CAMPAIGN_SCALE, CAMPAIGN_SEED);
+    for (network, (down, up)) in &campaign.traces {
+        out.push(digest_trace(
+            format!("campaign.trace.{}.down", network.label()),
+            down,
+        ));
+        out.push(digest_trace(
+            format!("campaign.trace.{}.up", network.label()),
+            up,
+        ));
+    }
+    {
+        let mut h = Fnv64::new();
+        let mut sum = 0.0;
+        for r in &campaign.records {
+            // Debug formatting of f64 is shortest-roundtrip, so the hash
+            // sees every bit of every field.
+            h.write_str(&format!("{r:?}"));
+            sum += r.mean_mbps;
+        }
+        out.push(DigestLine {
+            name: "campaign.records".to_string(),
+            count: campaign.records.len() as u64,
+            sum,
+            fnv: h.finish(),
+        });
+    }
+
+    // 2. Every registered figure pipeline, rendered from that campaign.
+    for f in all_figures() {
+        out.push(digest_text(
+            format!("figure.{}", f.id),
+            &(f.render)(campaign),
+        ));
+    }
+
+    // 3. The eight built-in scenarios, swept at the canonical config.
+    let report = ScenarioRunner::new(CampaignConfig {
+        scale: SCENARIO_SCALE,
+        seed: SCENARIO_SEED,
+        ..CampaignConfig::default()
+    })
+    .run(&builtin_scenarios());
+    for o in &report.outcomes {
+        out.push(DigestLine {
+            name: format!("scenario.{}", o.name),
+            count: o.tests as u64,
+            sum: o.udp_down_mean_mbps,
+            fnv: Fnv64::new().write_str(&format!("{o:?}")).finish(),
+        });
+    }
+    out.push(digest_text("scenario.report-json", &report.to_json()));
+
+    out
+}
+
+/// Runs the full invariant suite over the same canonical artifacts the
+/// digests cover, returning every violation.
+pub fn check_invariants() -> Vec<Violation> {
+    let mut v = Vec::new();
+    let campaign = leo_core::cached_campaign(CAMPAIGN_SCALE, CAMPAIGN_SEED);
+    v.extend(check_all(&campaign_invariants(), campaign));
+    let report = ScenarioRunner::new(CampaignConfig {
+        scale: SCENARIO_SCALE,
+        seed: SCENARIO_SEED,
+        ..CampaignConfig::default()
+    })
+    .run(&builtin_scenarios());
+    v.extend(check_all(&report_invariants(), &report));
+    v
+}
+
+/// Renders digests in the committed file format.
+pub fn render(digests: &[DigestLine]) -> String {
+    let mut s = String::new();
+    s.push_str("# leo-cell conformance goldens\n");
+    s.push_str("# regenerate: cargo run --release --example conformance -- --bless\n");
+    s.push_str(&format!(
+        "# campaign scale={CAMPAIGN_SCALE} seed={CAMPAIGN_SEED:#x} | scenarios scale={SCENARIO_SCALE} seed={SCENARIO_SEED:#x}\n"
+    ));
+    for d in digests {
+        s.push_str(&d.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Parses a golden file's digest lines (comments and blanks skipped).
+pub fn parse(text: &str) -> Vec<DigestLine> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .filter_map(DigestLine::parse)
+        .collect()
+}
+
+/// Diffs freshly computed digests against the committed goldens.
+///
+/// `Ok(n)` is the number of matching lines; `Err` lists every mismatch
+/// (changed hash, missing line, unexpected extra line) plus the bless
+/// instructions.
+pub fn compare(current: &[DigestLine], golden_text: &str) -> Result<usize, String> {
+    let golden = parse(golden_text);
+    let mut problems = Vec::new();
+    for c in current {
+        match golden.iter().find(|g| g.name == c.name) {
+            None => problems.push(format!("missing from goldens: {c}")),
+            // Compare on the hash and count: the sum is informational
+            // (rounded for display), the fnv carries the full precision.
+            Some(g) if g.fnv != c.fnv || g.count != c.count => {
+                problems.push(format!("changed: {c}\n   golden: {g}"));
+            }
+            Some(_) => {}
+        }
+    }
+    for g in &golden {
+        if !current.iter().any(|c| c.name == g.name) {
+            problems.push(format!("stale golden (no longer computed): {g}"));
+        }
+    }
+    if problems.is_empty() {
+        Ok(current.len())
+    } else {
+        Err(format!(
+            "{} golden digest mismatch(es):\n{}\n\nIf this change is intentional, re-bless with:\n  cargo run --release --example conformance -- --bless",
+            problems.len(),
+            problems.join("\n")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::digest_series;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let ds = vec![
+            digest_series("a.one", &[1.0, 2.0]),
+            digest_series("b.two", &[-3.5]),
+        ];
+        let text = render(&ds);
+        let back = parse(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "a.one");
+        assert_eq!(back[0].fnv, ds[0].fnv);
+        assert_eq!(compare(&ds, &text), Ok(2));
+    }
+
+    #[test]
+    fn compare_reports_changes_and_staleness() {
+        let ds = vec![digest_series("a", &[1.0]), digest_series("b", &[2.0])];
+        let text = render(&ds);
+        // A perturbed value fails with a "changed" line.
+        let perturbed = vec![digest_series("a", &[1.0 + 1e-12]), ds[1].clone()];
+        let err = compare(&perturbed, &text).unwrap_err();
+        assert!(err.contains("changed: a"), "{err}");
+        assert!(err.contains("--bless"), "{err}");
+        // A new artifact fails as missing; a removed one as stale.
+        let extra = vec![ds[0].clone(), ds[1].clone(), digest_series("c", &[3.0])];
+        assert!(compare(&extra, &text).unwrap_err().contains("missing"));
+        let fewer = vec![ds[0].clone()];
+        assert!(compare(&fewer, &text).unwrap_err().contains("stale"));
+    }
+}

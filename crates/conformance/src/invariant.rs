@@ -1,0 +1,443 @@
+//! Machine-checked simulation laws.
+//!
+//! Every law the reproduction's credibility rests on is expressed as an
+//! [`Invariant`] over some subject type — pipe counters, simulator
+//! audits, link traces, whole campaigns, emulation results, scenario
+//! reports — and collected into per-subject registries. `check_all`
+//! evaluates a registry and returns the violations, so callers can
+//! assert emptiness (tests, the fuzzer) or report them (the
+//! `conformance` example).
+
+use leo_core::mptcp_emu::EmulationResult;
+use leo_dataset::campaign::Campaign;
+use leo_dataset::record::NetworkId;
+use leo_link::trace::LinkTrace;
+use leo_netsim::{PipeStats, SimAudit};
+use leo_scenario::runner::ScenarioReport;
+
+/// One broken law.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the invariant that failed.
+    pub invariant: &'static str,
+    /// What exactly went wrong, with the offending numbers.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// A law over subjects of type `S`.
+pub trait Invariant<S: ?Sized> {
+    /// Stable identifier, e.g. `"pipe.packet-conservation"`.
+    fn name(&self) -> &'static str;
+
+    /// `Ok(())` when the law holds; `Err(detail)` with the offending
+    /// numbers when it does not.
+    fn check(&self, subject: &S) -> Result<(), String>;
+}
+
+/// Evaluates every invariant in `registry` against `subject`.
+pub fn check_all<S: ?Sized>(registry: &[Box<dyn Invariant<S>>], subject: &S) -> Vec<Violation> {
+    registry
+        .iter()
+        .filter_map(|inv| {
+            inv.check(subject).err().map(|detail| Violation {
+                invariant: inv.name(),
+                detail,
+            })
+        })
+        .collect()
+}
+
+/// A named closure-backed invariant — the registry building block.
+struct Law<S: ?Sized> {
+    name: &'static str,
+    #[allow(clippy::type_complexity)]
+    check: Box<dyn Fn(&S) -> Result<(), String> + Send + Sync>,
+}
+
+impl<S: ?Sized> Invariant<S> for Law<S> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn check(&self, subject: &S) -> Result<(), String> {
+        (self.check)(subject)
+    }
+}
+
+fn law<S: ?Sized + 'static>(
+    name: &'static str,
+    check: impl Fn(&S) -> Result<(), String> + Send + Sync + 'static,
+) -> Box<dyn Invariant<S>> {
+    Box::new(Law {
+        name,
+        check: Box::new(check),
+    })
+}
+
+/// Laws over a single pipe's counters.
+///
+/// Conservation here is exact, with no in-flight term: both pipe models
+/// count `delivered_packets` at offer time (delivery is scheduled the
+/// moment the packet is admitted), so after *any* prefix of offers
+/// `offered == delivered + dropped_random + dropped_queue + dropped_fault`
+/// holds to the packet.
+pub fn pipe_invariants() -> Vec<Box<dyn Invariant<PipeStats>>> {
+    vec![
+        law("pipe.packet-conservation", |s: &PipeStats| {
+            if s.conservation_residual() == 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "offered {} != delivered {} + random {} + queue {} + fault {} (residual {})",
+                    s.offered_packets,
+                    s.delivered_packets,
+                    s.dropped_random,
+                    s.dropped_queue,
+                    s.dropped_fault,
+                    s.conservation_residual()
+                ))
+            }
+        }),
+        law("pipe.byte-conservation", |s: &PipeStats| {
+            if s.delivered_bytes <= s.offered_bytes {
+                Ok(())
+            } else {
+                Err(format!(
+                    "delivered {} bytes exceed offered {}",
+                    s.delivered_bytes, s.offered_bytes
+                ))
+            }
+        }),
+        law("pipe.drops-bounded", |s: &PipeStats| {
+            let drops = s.dropped_random + s.dropped_queue + s.dropped_fault;
+            if drops <= s.offered_packets {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} drops exceed {} offered packets",
+                    drops, s.offered_packets
+                ))
+            }
+        }),
+    ]
+}
+
+/// Laws over a completed simulator run.
+pub fn audit_invariants() -> Vec<Box<dyn Invariant<SimAudit>>> {
+    vec![
+        law("sim.clock-monotonic", |a: &SimAudit| {
+            if a.clock_monotonic {
+                Ok(())
+            } else {
+                Err("the event clock ran backwards during the run".to_string())
+            }
+        }),
+        law("sim.links-conserved", |a: &SimAudit| {
+            for (i, s) in a.links.iter().enumerate() {
+                let v = check_all(&pipe_invariants(), s);
+                if let Some(first) = v.first() {
+                    return Err(format!("link {i}: {first}"));
+                }
+            }
+            Ok(())
+        }),
+    ]
+}
+
+/// Laws over a link-condition trace.
+pub fn trace_invariants() -> Vec<Box<dyn Invariant<LinkTrace>>> {
+    vec![
+        law("trace.capacity-nonnegative", |t: &LinkTrace| {
+            for (i, c) in t.samples().iter().enumerate() {
+                if !(c.capacity_mbps.is_finite() && c.capacity_mbps >= 0.0) {
+                    return Err(format!(
+                        "{} sample {i}: capacity {} Mbps",
+                        t.label, c.capacity_mbps
+                    ));
+                }
+            }
+            Ok(())
+        }),
+        law("trace.rtt-nonnegative", |t: &LinkTrace| {
+            for (i, c) in t.samples().iter().enumerate() {
+                if !(c.rtt_ms.is_finite() && c.rtt_ms >= 0.0) {
+                    return Err(format!("{} sample {i}: rtt {} ms", t.label, c.rtt_ms));
+                }
+            }
+            Ok(())
+        }),
+        law("trace.loss-in-unit-range", |t: &LinkTrace| {
+            for (i, c) in t.samples().iter().enumerate() {
+                if !(c.loss.is_finite() && (0.0..=1.0).contains(&c.loss)) {
+                    return Err(format!("{} sample {i}: loss {}", t.label, c.loss));
+                }
+            }
+            Ok(())
+        }),
+    ]
+}
+
+/// Laws over a generated campaign: every trace healthy, every record's
+/// statistics physical, every test inside the drive's timeline.
+pub fn campaign_invariants() -> Vec<Box<dyn Invariant<Campaign>>> {
+    vec![
+        law("campaign.traces-well-formed", |c: &Campaign| {
+            let traces = trace_invariants();
+            for (down, up) in c.traces.values() {
+                for t in [down, up] {
+                    if let Some(first) = check_all(&traces, t).first() {
+                        return Err(first.to_string());
+                    }
+                }
+            }
+            Ok(())
+        }),
+        law("campaign.records-physical", |c: &Campaign| {
+            for r in &c.records {
+                if !(r.mean_mbps.is_finite() && r.mean_mbps >= 0.0) {
+                    return Err(format!("test {}: mean {} Mbps", r.test_id, r.mean_mbps));
+                }
+                if !(r.median_mbps.is_finite() && r.median_mbps >= 0.0) {
+                    return Err(format!("test {}: median {} Mbps", r.test_id, r.median_mbps));
+                }
+                if !(r.retrans_rate.is_finite() && (0.0..=1.0).contains(&r.retrans_rate)) {
+                    return Err(format!("test {}: retrans {}", r.test_id, r.retrans_rate));
+                }
+                if let Some(rtt) = r.mean_rtt_ms {
+                    if !(rtt.is_finite() && rtt >= 0.0) {
+                        return Err(format!("test {}: rtt {} ms", r.test_id, rtt));
+                    }
+                }
+            }
+            Ok(())
+        }),
+        law("campaign.records-inside-drive", |c: &Campaign| {
+            let drive_s = c.samples.len() as u64;
+            for r in &c.records {
+                if r.t_start_s + r.duration_s as u64 > drive_s {
+                    return Err(format!(
+                        "test {} runs [{}, {}) past the {}s drive",
+                        r.test_id,
+                        r.t_start_s,
+                        r.t_start_s + r.duration_s as u64,
+                        drive_s
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    ]
+}
+
+/// Laws over one emulated download.
+///
+/// `link_stats` lists data pipes first, then ack pipes (both harness
+/// layouts — single-path and MPTCP — construct links in that order), so
+/// the first half of the list carries the download.
+pub fn emulation_invariants() -> Vec<Box<dyn Invariant<EmulationResult>>> {
+    vec![
+        law("emu.links-conserved", |e: &EmulationResult| {
+            for (i, s) in e.link_stats.iter().enumerate() {
+                if let Some(first) = check_all(&pipe_invariants(), s).first() {
+                    return Err(format!("link {i}: {first}"));
+                }
+            }
+            Ok(())
+        }),
+        law(
+            "emu.goodput-bounded-by-data-pipes",
+            |e: &EmulationResult| {
+                if e.link_stats.is_empty() {
+                    // Degenerate (both paths dead): nothing delivered.
+                    return if e.delivered_bytes == 0 {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "{} bytes delivered over no links",
+                            e.delivered_bytes
+                        ))
+                    };
+                }
+                let data: u64 = e.link_stats[..e.link_stats.len() / 2]
+                    .iter()
+                    .map(|s| s.delivered_bytes)
+                    .sum();
+                if e.delivered_bytes <= data {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "receiver delivered {} bytes but the data pipes carried only {}",
+                        e.delivered_bytes, data
+                    ))
+                }
+            },
+        ),
+        law("emu.rates-physical", |e: &EmulationResult| {
+            if !(e.mean_mbps.is_finite() && e.mean_mbps >= 0.0) {
+                return Err(format!("mean {} Mbps", e.mean_mbps));
+            }
+            for (i, &v) in e.per_second_mbps.iter().enumerate() {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(format!("second {i}: {v} Mbps"));
+                }
+            }
+            Ok(())
+        }),
+    ]
+}
+
+/// Laws over a scenario sweep report, including the ablation law: the
+/// `leo-only` / `cell-only` built-ins must *exactly* zero the dead
+/// family's capacity (outage is total, not probabilistic).
+pub fn report_invariants() -> Vec<Box<dyn Invariant<ScenarioReport>>> {
+    vec![
+        law("scenario.shares-in-range", |r: &ScenarioReport| {
+            for o in &r.outcomes {
+                for (what, v) in [
+                    ("mob_high", o.coverage.mob_high),
+                    ("best_cell_high", o.coverage.best_cell_high),
+                    ("combined_high", o.coverage.combined_high),
+                    ("combined_poor", o.coverage.combined_poor),
+                ] {
+                    if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                        return Err(format!("{}: {what} = {v}", o.name));
+                    }
+                }
+            }
+            Ok(())
+        }),
+        law(
+            "scenario.ablations-zero-dead-family",
+            |r: &ScenarioReport| {
+                for (scenario, dead) in [
+                    ("leo-only", &NetworkId::CELLULAR[..]),
+                    ("cell-only", &NetworkId::STARLINK[..]),
+                ] {
+                    let Some(o) = r.outcomes.iter().find(|o| o.name == scenario) else {
+                        continue;
+                    };
+                    for n in dead {
+                        let Some(m) = o.networks.iter().find(|m| m.network == n.label()) else {
+                            return Err(format!("{scenario}: network {} missing", n.label()));
+                        };
+                        if m.mean_capacity_mbps != 0.0 || m.outage_frac != 1.0 {
+                            return Err(format!(
+                                "{scenario}: {} not fully dark (capacity {}, outage {})",
+                                n.label(),
+                                m.mean_capacity_mbps,
+                                m.outage_frac
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_link::condition::LinkCondition;
+
+    fn good_stats() -> PipeStats {
+        PipeStats {
+            offered_packets: 10,
+            offered_bytes: 15_000,
+            delivered_packets: 7,
+            delivered_bytes: 10_500,
+            dropped_random: 1,
+            dropped_queue: 1,
+            dropped_fault: 1,
+        }
+    }
+
+    #[test]
+    fn conserved_stats_pass() {
+        assert!(check_all(&pipe_invariants(), &good_stats()).is_empty());
+    }
+
+    #[test]
+    fn leaked_packet_is_caught() {
+        let mut s = good_stats();
+        s.delivered_packets = 6; // one packet vanished
+        let v = check_all(&pipe_invariants(), &s);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "pipe.packet-conservation");
+        assert!(v[0].detail.contains("residual 1"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn byte_inflation_is_caught() {
+        let mut s = good_stats();
+        s.delivered_bytes = s.offered_bytes + 1;
+        let v = check_all(&pipe_invariants(), &s);
+        assert!(v.iter().any(|v| v.invariant == "pipe.byte-conservation"));
+    }
+
+    #[test]
+    fn audit_flags_rewound_clock() {
+        let audit = SimAudit {
+            clock_monotonic: false,
+            links: vec![good_stats()],
+        };
+        let v = check_all(&audit_invariants(), &audit);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "sim.clock-monotonic");
+    }
+
+    #[test]
+    fn trace_laws_catch_bad_samples() {
+        // `LinkCondition::new` sanitizes its inputs, so corrupt samples
+        // are built field-by-field — the invariants guard against bugs
+        // that bypass the constructor, not against constructor misuse.
+        let corrupt = |cap: f64, rtt: f64, loss: f64| {
+            let mut c = LinkCondition::new(50.0, 40.0, 0.0);
+            c.capacity_mbps = cap;
+            c.rtt_ms = rtt;
+            c.loss = loss;
+            c
+        };
+        let bad = LinkTrace::new(
+            "X",
+            0,
+            vec![
+                LinkCondition::new(50.0, 40.0, 0.0),
+                corrupt(-1.0, 40.0, 0.0),
+            ],
+        );
+        let v = check_all(&trace_invariants(), &bad);
+        assert!(v
+            .iter()
+            .any(|v| v.invariant == "trace.capacity-nonnegative"));
+        let nan_rtt = LinkTrace::new("Y", 0, vec![corrupt(50.0, f64::NAN, 0.0)]);
+        let v = check_all(&trace_invariants(), &nan_rtt);
+        assert!(v.iter().any(|v| v.invariant == "trace.rtt-nonnegative"));
+        let inf_loss = LinkTrace::new("Z", 0, vec![corrupt(50.0, 40.0, f64::INFINITY)]);
+        let v = check_all(&trace_invariants(), &inf_loss);
+        assert!(v.iter().any(|v| v.invariant == "trace.loss-in-unit-range"));
+    }
+
+    #[test]
+    fn emulation_goodput_cannot_exceed_data_pipes() {
+        let mut data = good_stats();
+        data.delivered_bytes = 1000;
+        let e = EmulationResult {
+            mean_mbps: 1.0,
+            per_second_mbps: vec![1.0],
+            delivered_bytes: 2000,
+            link_stats: vec![data, good_stats()],
+        };
+        let v = check_all(&emulation_invariants(), &e);
+        assert!(v
+            .iter()
+            .any(|v| v.invariant == "emu.goodput-bounded-by-data-pipes"));
+    }
+}

@@ -1,0 +1,33 @@
+//! The conformance harness: the reproduction's validation layer.
+//!
+//! The repo's claim — that a fully synthetic pipeline can stand in for
+//! the paper's 3,800 km field campaign — only holds if the simulator is
+//! provably self-consistent. This crate turns the per-crate spot checks
+//! into one enforced layer, in three parts:
+//!
+//! 1. **[`invariant`]** — machine-checked simulation laws (packet
+//!    conservation per pipe, monotonic sim clocks, physical link traces,
+//!    MPTCP aggregate bounds, scenario ablation exactness) expressed as
+//!    an [`invariant::Invariant`] registry per subject type. The
+//!    low-level crates additionally self-audit the same laws at runtime
+//!    when `LEO_CONFORMANCE=1` (see [`leo_netsim::strict_checks`]).
+//! 2. **[`goldens`]** — compact digests (count, sum, FNV-1a over exact
+//!    bit patterns) of the canonical campaign, all eight built-in
+//!    scenarios, and every figure pipeline, committed under
+//!    `tests/goldens/` and diffed by tests and CI. Intentional behavior
+//!    changes are re-blessed via `examples/conformance.rs --bless`.
+//! 3. **[`fuzz`]** — a seeded schedule fuzzer composing random pipe
+//!    stacks, fault schedules, and transport workloads, asserting every
+//!    invariant after every step, with seed-printing repro instructions.
+
+pub mod digest;
+pub mod fuzz;
+pub mod goldens;
+pub mod invariant;
+
+pub use digest::{digest_series, digest_text, DigestLine, Fnv64};
+pub use fuzz::{case_seed, run_case, FuzzConfig, FuzzSummary};
+pub use invariant::{
+    audit_invariants, campaign_invariants, check_all, emulation_invariants, pipe_invariants,
+    report_invariants, trace_invariants, Invariant, Violation,
+};

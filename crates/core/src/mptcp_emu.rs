@@ -18,7 +18,9 @@
 
 use leo_link::mahimahi::MahimahiTrace;
 use leo_link::trace::LinkTrace;
-use leo_netsim::{ConstPipe, FaultPipe, FaultSchedule, LinkId, SimTime, Simulator, TracePipe};
+use leo_netsim::{
+    ConstPipe, FaultPipe, FaultSchedule, LinkId, PipeStats, SimTime, Simulator, TracePipe,
+};
 use leo_transport::cc::CcAlgorithm;
 use leo_transport::mptcp::{MptcpConfig, MptcpReceiver, MptcpSender, SchedulerKind};
 use leo_transport::tcp::{TcpConfig, TcpReceiver, TcpSender};
@@ -39,6 +41,23 @@ pub enum BufferTuning {
 pub struct EmulationResult {
     pub mean_mbps: f64,
     pub per_second_mbps: Vec<f64>,
+    /// Application bytes the receiver delivered in order.
+    pub delivered_bytes: u64,
+    /// Post-run counters for every pipe in the simulation, in `LinkId`
+    /// order (data pipes first, then ack pipes). The conformance harness
+    /// reconciles the receiver's goodput against these.
+    pub link_stats: Vec<PipeStats>,
+}
+
+impl EmulationResult {
+    fn empty(secs: u64) -> Self {
+        EmulationResult {
+            mean_mbps: 0.0,
+            per_second_mbps: vec![0.0; secs as usize],
+            delivered_bytes: 0,
+            link_stats: Vec::new(),
+        }
+    }
 }
 
 fn mean_capacity(trace: &LinkTrace) -> f64 {
@@ -104,10 +123,7 @@ fn run_single_path_impl(
 ) -> EmulationResult {
     let secs = trace.duration_s();
     let Some((data_pipe, ack_pipe, _)) = pipes_for(trace, 60_000) else {
-        return EmulationResult {
-            mean_mbps: 0.0,
-            per_second_mbps: vec![0.0; secs as usize],
-        };
+        return EmulationResult::empty(secs);
     };
     // An empty schedule makes FaultPipe bit-transparent (no extra RNG
     // draws), so fault-free callers are unaffected by the wrapping.
@@ -130,12 +146,25 @@ fn run_single_path_impl(
             .start(ctx)
     });
     sim.run_until(SimTime::from_secs(secs));
+    let link_stats = sim.audit().links;
     let r = sim.agent_as::<TcpReceiver>(receiver);
+    let delivered_bytes = r.meter.total_bytes();
+    if leo_netsim::strict_checks() {
+        // Goodput cannot exceed what the data pipe physically carried.
+        assert!(
+            delivered_bytes <= link_stats[0].delivered_bytes,
+            "single-path goodput {} exceeds data-pipe delivery {}",
+            delivered_bytes,
+            link_stats[0].delivered_bytes
+        );
+    }
     let mut series = r.meter.series_mbps();
     series.resize(secs as usize, 0.0);
     EmulationResult {
         mean_mbps: r.meter.mean_mbps_over(SimTime::from_secs(secs)),
         per_second_mbps: series,
+        delivered_bytes,
+        link_stats,
     }
 }
 
@@ -210,22 +239,32 @@ pub fn run_mptcp_faulted(
                     .start(ctx)
             });
             sim.run_until(SimTime::from_secs(secs));
+            let link_stats = sim.audit().links;
             let r = sim.agent_as::<MptcpReceiver>(receiver);
+            let delivered_bytes = r.meter.total_bytes();
+            if leo_netsim::strict_checks() {
+                // The MPTCP aggregate can never exceed the sum of what the
+                // two subflow data pipes (LinkId 0 and 1) delivered.
+                let subflow_sum = link_stats[0].delivered_bytes + link_stats[1].delivered_bytes;
+                assert!(
+                    delivered_bytes <= subflow_sum,
+                    "MPTCP goodput {delivered_bytes} exceeds subflow deliveries {subflow_sum}"
+                );
+            }
             let mut series = r.meter.series_mbps();
             series.resize(secs as usize, 0.0);
             EmulationResult {
                 mean_mbps: r.meter.mean_mbps_over(SimTime::from_secs(secs)),
                 per_second_mbps: series,
+                delivered_bytes,
+                link_stats,
             }
         }
         // One path entirely dead: MPTCP degenerates to the live path
         // (still under that path's scheduled faults).
         (Some(_), None) => run_single_path_faulted(trace_a, seed, faults_a),
         (None, Some(_)) => run_single_path_faulted(trace_b, seed, faults_b),
-        (None, None) => EmulationResult {
-            mean_mbps: 0.0,
-            per_second_mbps: vec![0.0; secs as usize],
-        },
+        (None, None) => EmulationResult::empty(secs),
     }
 }
 

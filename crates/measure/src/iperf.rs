@@ -37,7 +37,9 @@
 use leo_link::condition::{Direction, LinkCondition};
 use leo_link::mahimahi::MahimahiTrace;
 use leo_link::trace::LinkTrace;
-use leo_netsim::{ConstPipe, LinkId, SimTime, Simulator, TracePipe};
+use leo_netsim::{
+    ConstPipe, FaultPipe, FaultSchedule, LinkId, PipeStats, SimTime, Simulator, TracePipe,
+};
 use leo_transport::cc::CcAlgorithm;
 use leo_transport::parallel::{install_with_demux, ParallelTcp};
 use leo_transport::udp::{UdpBlaster, UdpSink};
@@ -78,6 +80,12 @@ pub struct IperfConfig {
     pub cc: CcAlgorithm,
     /// RNG seed for the packet-level engine.
     pub seed: u64,
+    /// Faults injected into the packet-level data path (mid-path outages,
+    /// loss bursts, delay spikes). An empty schedule is exactly
+    /// transparent; the analytic engine ignores faults entirely. Skipped
+    /// in serialisation (a stored config deserialises fault-free).
+    #[serde(skip)]
+    pub faults: FaultSchedule,
 }
 
 impl IperfConfig {
@@ -91,6 +99,7 @@ impl IperfConfig {
             link_layer_retx: false,
             cc: CcAlgorithm::Cubic,
             seed: 1,
+            faults: FaultSchedule::new(),
         }
     }
 
@@ -105,6 +114,7 @@ impl IperfConfig {
             link_layer_retx: false,
             cc: CcAlgorithm::Cubic,
             seed: 1,
+            faults: FaultSchedule::new(),
         }
     }
 
@@ -133,6 +143,12 @@ impl IperfConfig {
         self.cc = cc;
         self
     }
+
+    /// Injects a fault schedule into the packet-level data path.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// The result of one iPerf run.
@@ -159,6 +175,23 @@ impl IperfReport {
             retrans_rate,
         }
     }
+}
+
+/// What the packet-level engine's pipes actually did, alongside the
+/// report: exact per-link counters for reconciling the report's loss and
+/// throughput claims (the conformance harness's fault-injection tests
+/// consume this).
+#[derive(Debug, Clone, Default)]
+pub struct IperfAudit {
+    /// Per-link [`PipeStats`] in `LinkId` order. For both protocols the
+    /// data bottleneck (the faulted pipe) is `link_stats[0]`; TCP runs
+    /// also carry the ACK path at index 1 and transparent demux-dispatch
+    /// pipes after it.
+    pub link_stats: Vec<PipeStats>,
+    /// Datagrams the sender offered (UDP runs; 0 for TCP).
+    pub packets_sent: u64,
+    /// Datagrams the sink accepted (UDP runs; 0 for TCP).
+    pub packets_received: u64,
 }
 
 /// Runs iPerf tests against link-condition traces.
@@ -263,8 +296,19 @@ impl IperfRunner {
     /// The packet-level engine: a Mahimahi-style replay of the conditions
     /// through the real transport stack.
     pub fn run_packet_level(&self, conditions: &[LinkCondition]) -> IperfReport {
+        self.run_packet_level_audited(conditions).0
+    }
+
+    /// Like [`Self::run_packet_level`], but also returns the audit: the
+    /// exact per-link [`PipeStats`] plus sender/sink datagram counters
+    /// (UDP), so a harness can reconcile the report's loss and throughput
+    /// claims against what the pipes actually did.
+    pub fn run_packet_level_audited(
+        &self,
+        conditions: &[LinkCondition],
+    ) -> (IperfReport, IperfAudit) {
         if conditions.is_empty() {
-            return IperfReport::from_series(vec![], 0.0);
+            return (IperfReport::from_series(vec![], 0.0), IperfAudit::default());
         }
         let duration_s = conditions.len() as u64;
         let caps: Vec<f64> = conditions.iter().map(|c| c.capacity_mbps).collect();
@@ -274,14 +318,31 @@ impl IperfRunner {
         let one_way = SimTime::from_secs_f64(mean_rtt_ms / 2.0 / 1e3);
         let mean_cap = caps.iter().sum::<f64>() / caps.len() as f64;
         if mean_cap <= 0.05 {
-            return IperfReport::from_series(vec![0.0; conditions.len()], 0.0);
+            return (
+                IperfReport::from_series(vec![0.0; conditions.len()], 0.0),
+                IperfAudit::default(),
+            );
         }
         let trace = MahimahiTrace::from_capacity_series(&caps);
         if trace.is_empty() {
-            return IperfReport::from_series(vec![0.0; conditions.len()], 0.0);
+            return (
+                IperfReport::from_series(vec![0.0; conditions.len()], 0.0),
+                IperfAudit::default(),
+            );
         }
         // Queue: one mean-BDP plus slack, like MpShell's default droptail.
         let queue_bytes = (mean_cap * 1e6 / 8.0 * (mean_rtt_ms / 1e3)) as u64 + 60_000;
+
+        // The fault schedule wraps the data path only (a mid-path failure
+        // between sender and bottleneck); an empty schedule is exactly
+        // transparent, bit-for-bit.
+        let faults = self.config.faults.clone();
+        let data_pipe = move || -> Box<dyn leo_netsim::Pipe> {
+            Box::new(FaultPipe::new(
+                TracePipe::new(trace, one_way, queue_bytes).with_loss_series(losses),
+                faults,
+            ))
+        };
 
         match self.config.protocol {
             IperfProtocol::Udp => {
@@ -293,10 +354,7 @@ impl IperfRunner {
                     (mean_cap * 1.3).max(1.0),
                     SimTime::from_secs(duration_s),
                 )));
-                sim.add_link(
-                    Box::new(TracePipe::new(trace, one_way, queue_bytes).with_loss_series(losses)),
-                    sink,
-                );
+                sim.add_link(data_pipe(), sink);
                 sim.with_agent(blaster, |a, ctx| {
                     a.as_any_mut()
                         .downcast_mut::<UdpBlaster>()
@@ -304,26 +362,23 @@ impl IperfRunner {
                         .start(ctx)
                 });
                 sim.run_until(SimTime::from_secs(duration_s));
+                let audit = IperfAudit {
+                    link_stats: sim.audit().links,
+                    packets_sent: sim.agent_as::<UdpBlaster>(blaster).packets_sent,
+                    packets_received: sim.agent_as::<UdpSink>(sink).packets_received,
+                };
                 let s = sim.agent_as::<UdpSink>(sink);
                 let series = pad_series(s.meter.series_mbps(), conditions.len());
                 let loss = s.loss_rate();
-                IperfReport::from_series(series, loss)
+                (IperfReport::from_series(series, loss), audit)
             }
             IperfProtocol::Tcp { parallel } => {
                 let mut sim = Simulator::new(self.config.seed);
                 let n = parallel.max(1) as usize;
-                let handles: ParallelTcp = install_with_demux(
-                    &mut sim,
-                    n,
-                    self.config.cc,
-                    4096,
-                    || {
-                        Box::new(
-                            TracePipe::new(trace, one_way, queue_bytes).with_loss_series(losses),
-                        )
-                    },
-                    || Box::new(ConstPipe::new(mean_cap.max(10.0), one_way, 0.0, 1 << 22)),
-                );
+                let handles: ParallelTcp =
+                    install_with_demux(&mut sim, n, self.config.cc, 4096, data_pipe, || {
+                        Box::new(ConstPipe::new(mean_cap.max(10.0), one_way, 0.0, 1 << 22))
+                    });
                 handles.start_all(&mut sim);
                 sim.run_until(SimTime::from_secs(duration_s));
                 let mut series = vec![0.0; conditions.len()];
@@ -339,7 +394,12 @@ impl IperfRunner {
                     }
                 }
                 let retrans = handles.aggregate_retransmission_rate(&sim);
-                IperfReport::from_series(series, retrans)
+                let audit = IperfAudit {
+                    link_stats: sim.audit().links,
+                    packets_sent: 0,
+                    packets_received: 0,
+                };
+                (IperfReport::from_series(series, retrans), audit)
             }
         }
     }

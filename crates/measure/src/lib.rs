@@ -22,7 +22,7 @@ pub mod tcpdump;
 pub mod tracker;
 pub mod udp_ping;
 
-pub use iperf::{Engine, IperfConfig, IperfProtocol, IperfReport, IperfRunner};
+pub use iperf::{Engine, IperfAudit, IperfConfig, IperfProtocol, IperfReport, IperfRunner};
 pub use tcpdump::TcpdumpStats;
 pub use tracker::{Tracker, TrackerRow};
 pub use udp_ping::{PingReport, UdpPing};

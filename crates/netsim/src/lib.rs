@@ -29,5 +29,24 @@ pub use pipe::{
     ConstPipe, FaultKind, FaultPipe, FaultSchedule, FaultWindow, JitterPipe, Pipe, PipeStats,
     TracePipe,
 };
-pub use sim::{Agent, Context, LinkId, NodeId, Simulator};
+pub use sim::{Agent, Context, LinkId, NodeId, SimAudit, Simulator};
 pub use time::SimTime;
+
+/// Whether strict conformance checking is enabled for this process.
+///
+/// Controlled by the `LEO_CONFORMANCE` environment variable (`1` or
+/// `true`), read once and cached. When on, [`Simulator::run_until`]
+/// asserts clock monotonicity and per-pipe packet conservation after
+/// every run, and the emulation harnesses layered on top (`leo-core`'s
+/// MPTCP replay, the scenario sweep runner, `leo-transport`'s goodput
+/// meters) audit their own laws — turning any campaign, figure, or
+/// scenario run into a self-checking one at ~zero cost when off.
+pub fn strict_checks() -> bool {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("LEO_CONFORMANCE")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    })
+}

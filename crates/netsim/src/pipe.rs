@@ -38,6 +38,27 @@ impl PipeStats {
                 / self.offered_packets as f64
         }
     }
+
+    /// Packets the counters fail to account for. Both pipe models decide a
+    /// packet's fate at offer time (admitted packets are counted delivered
+    /// the moment their delivery is scheduled), so the exact law is
+    /// `offered == delivered + dropped_random + dropped_queue +
+    /// dropped_fault` with no separate in-flight term; a non-zero residual
+    /// means a pipe implementation lost track of a packet.
+    pub fn conservation_residual(&self) -> i64 {
+        self.offered_packets as i64
+            - (self.delivered_packets
+                + self.dropped_random
+                + self.dropped_queue
+                + self.dropped_fault) as i64
+    }
+
+    /// Packet- and byte-conservation: every offered packet is either
+    /// scheduled for delivery or counted in exactly one drop bucket, and
+    /// delivered bytes never exceed offered bytes.
+    pub fn is_conserved(&self) -> bool {
+        self.conservation_residual() == 0 && self.delivered_bytes <= self.offered_bytes
+    }
 }
 
 /// A unidirectional link.
@@ -51,6 +72,23 @@ pub trait Pipe {
 
     /// Bytes currently queued (offered, not yet delivered).
     fn queued_bytes(&self, now: SimTime) -> u64;
+}
+
+/// Boxed pipes are pipes, so wrappers like [`FaultPipe`] and
+/// [`JitterPipe`] can be stacked over a dynamically chosen base — the
+/// conformance fuzzer composes random `Box<dyn Pipe>` stacks this way.
+impl Pipe for Box<dyn Pipe> {
+    fn offer(&mut self, size_bytes: u32, now: SimTime, rng: &mut SmallRng) -> Option<SimTime> {
+        (**self).offer(size_bytes, now, rng)
+    }
+
+    fn stats(&self) -> PipeStats {
+        (**self).stats()
+    }
+
+    fn queued_bytes(&self, now: SimTime) -> u64 {
+        (**self).queued_bytes(now)
+    }
 }
 
 /// Constant-rate pipe: serialisation at `rate`, propagation `delay`,
@@ -240,7 +278,14 @@ impl Pipe for TracePipe {
 
         // Consume the next delivery opportunity at or after `now` (and
         // after every already-assigned opportunity, preserving FIFO order).
-        let at_or_after = self.trace.next_opportunity_at_or_after(now.as_millis());
+        // The query millisecond is rounded *up*: an opportunity at
+        // millisecond m can only carry packets that had arrived by m, so a
+        // mid-millisecond arrival waits for the next slot. (Flooring here
+        // granted the current millisecond's already-passed opportunity and
+        // scheduled deliveries in the past — caught by the conformance
+        // fuzzer's delivery-time invariant.)
+        let query_ms = now.as_nanos().div_ceil(1_000_000);
+        let at_or_after = self.trace.next_opportunity_at_or_after(query_ms);
         self.opp_cursor = self.opp_cursor.max(at_or_after);
         let delivery_ms = self.trace.delivery_time_ms(self.opp_cursor);
         self.opp_cursor += 1;
@@ -350,6 +395,19 @@ mod tests {
         // Next offer after the schedule's end wraps to the next period.
         let d3 = p.offer(1500, SimTime::from_millis(16), &mut r).unwrap();
         assert_eq!(d3.as_millis(), 16 + 5); // period 16, next op at 16+5
+    }
+
+    #[test]
+    fn trace_pipe_never_delivers_before_the_offer() {
+        // Offer mid-millisecond, just past an opportunity: the packet must
+        // ride the NEXT opportunity, not the one at 5 ms that has already
+        // gone by (which would put the delivery in the past).
+        let trace = MahimahiTrace::from_deliveries(vec![5, 10, 15]);
+        let mut p = TracePipe::new(trace, SimTime::ZERO, 1 << 20);
+        let now = SimTime::from_micros(5_500);
+        let d = p.offer(1500, now, &mut rng()).unwrap();
+        assert!(d >= now, "delivered at {d:?}, offered at {now:?}");
+        assert_eq!(d.as_millis(), 10);
     }
 
     #[test]

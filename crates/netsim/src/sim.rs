@@ -139,6 +139,28 @@ pub struct Simulator {
     nodes: Vec<Option<Box<dyn Agent>>>,
     links: Vec<Link>,
     rng: SmallRng,
+    /// Events that popped with a timestamp before `now` — always zero
+    /// unless the event queue ordering is broken. Checked by the
+    /// conformance layer's clock-monotonicity invariant.
+    clock_regressions: u64,
+}
+
+/// A consistency snapshot of a finished (or paused) simulation, consumed
+/// by the `leo-conformance` invariant checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimAudit {
+    /// Simulated time never went backwards while processing events.
+    pub clock_monotonic: bool,
+    /// Final counters of every link's pipe, in [`LinkId`] order.
+    pub links: Vec<PipeStats>,
+}
+
+impl SimAudit {
+    /// All audited laws hold: the clock stayed monotonic and every pipe
+    /// conserved its packets ([`PipeStats::is_conserved`]).
+    pub fn is_clean(&self) -> bool {
+        self.clock_monotonic && self.links.iter().all(|s| s.is_conserved())
+    }
 }
 
 impl Simulator {
@@ -151,12 +173,53 @@ impl Simulator {
             nodes: Vec::new(),
             links: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
+            clock_regressions: 0,
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Number of links added so far.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether no processed event ever carried a timestamp before the
+    /// simulation clock (the clock-monotonicity invariant).
+    pub fn clock_monotonic(&self) -> bool {
+        self.clock_regressions == 0
+    }
+
+    /// Snapshots the simulation's consistency state for invariant
+    /// checking: clock monotonicity plus every pipe's counters.
+    pub fn audit(&self) -> SimAudit {
+        SimAudit {
+            clock_monotonic: self.clock_monotonic(),
+            links: self.links.iter().map(|l| l.pipe.stats()).collect(),
+        }
+    }
+
+    /// Panics unless [`Self::audit`] is clean — the in-tree conformance
+    /// hook, called automatically at the end of [`Self::run_until`] when
+    /// [`crate::strict_checks`] is enabled (`LEO_CONFORMANCE=1`).
+    pub fn assert_conformance(&self) {
+        let audit = self.audit();
+        assert!(
+            audit.clock_monotonic,
+            "conformance: simulation clock went backwards ({} regressions)",
+            self.clock_regressions
+        );
+        for (i, s) in audit.links.iter().enumerate() {
+            assert!(
+                s.is_conserved(),
+                "conformance: link {i} violates packet conservation \
+                 (residual {} over {s:?})",
+                s.conservation_residual()
+            );
+        }
     }
 
     /// Adds an agent, returning its id.
@@ -256,8 +319,13 @@ impl Simulator {
         let Some(Reverse(ev)) = self.events.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        if ev.at < self.now {
+            // Recorded rather than only debug-asserted so release builds
+            // surface the violation through `audit()` / `assert_conformance`.
+            self.clock_regressions += 1;
+            debug_assert!(false, "time went backwards");
+        }
+        self.now = self.now.max(ev.at);
         let (node, deliver): (NodeId, Delivery) = match ev.kind {
             EventKind::Arrival { node, link, packet } => {
                 (node, Box::new(move |a, ctx| a.on_packet(ctx, link, packet)))
@@ -291,6 +359,9 @@ impl Simulator {
             n += 1;
         }
         self.now = self.now.max(deadline);
+        if crate::strict_checks() {
+            self.assert_conformance();
+        }
         n
     }
 }

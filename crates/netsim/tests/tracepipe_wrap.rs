@@ -1,0 +1,116 @@
+//! Regression armor for the wrap-around fix: the Mahimahi capacity
+//! schedule and the per-second loss series must wrap *in phase*, for any
+//! trace length and any query time. A replay driven past the trace end
+//! has to see capacity and loss from the same second of the original
+//! channel — never period-0 capacity paired with a clamped final-second
+//! loss (the pre-fix behavior, pinned here property-style rather than by
+//! the fixed cases in the unit suite).
+
+use leo_link::mahimahi::MahimahiTrace;
+use leo_netsim::{Pipe, SimTime, TracePipe};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds the test subject: a flat 50 Mbps schedule of `len` seconds
+/// (dozens of delivery opportunities per millisecond, so every in-trace
+/// second contains opportunities) and a loss series that is 1.0 exactly
+/// on seconds divisible by `stride` — a recognisable phase marker.
+fn marked_pipe(len: usize, stride: usize) -> TracePipe {
+    let caps = vec![50.0; len];
+    let mm = MahimahiTrace::from_capacity_series(&caps);
+    let loss: Vec<f64> = (0..len)
+        .map(|i| if i.is_multiple_of(stride) { 1.0 } else { 0.0 })
+        .collect();
+    TracePipe::new(mm, SimTime::ZERO, u64::MAX).with_loss_series(loss)
+}
+
+proptest! {
+    /// For an offer in (possibly far-wrapped) second `t_s`:
+    /// * the loss series must consult index `t_s % len` — the offer is
+    ///   dropped as `dropped_random` iff that second carries the marker;
+    /// * the capacity schedule must hand out a delivery opportunity from
+    ///   that same second — the returned delivery time, floored to
+    ///   seconds, equals `t_s` exactly.
+    /// Together these pin the two wraps to the same phase.
+    #[test]
+    fn capacity_and_loss_wrap_in_phase(
+        len in 1usize..40,
+        stride in 1usize..7,
+        // Query seconds far beyond the trace end force many wraps.
+        seconds in prop::collection::vec(0u64..400, 1..20),
+        offset_ms in 100u64..900,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(9);
+        // Offers must arrive in time order; the loss/schedule phase of
+        // each is independent of the others.
+        let mut seconds = seconds;
+        seconds.sort_unstable();
+        seconds.dedup();
+        let mut pipe = marked_pipe(len, stride);
+        let mut expected_drops = 0u64;
+        for &t_s in &seconds {
+            let now = SimTime::from_millis(t_s * 1000 + offset_ms);
+            let marked = (t_s as usize % len).is_multiple_of(stride);
+            let got = pipe.offer(1500, now, &mut rng);
+            if marked {
+                expected_drops += 1;
+                prop_assert!(
+                    got.is_none(),
+                    "second {t_s} maps to marked second {} of {len} but was not dropped",
+                    t_s as usize % len
+                );
+            } else {
+                let at = got.expect("unmarked second must admit the packet");
+                prop_assert!(at >= now);
+                let delivery_s = at.as_nanos() / 1_000_000_000;
+                prop_assert_eq!(
+                    delivery_s, t_s,
+                    "delivery opportunity came from second {} but the offer was in \
+                     (wrapped) second {}: schedule and loss series are out of phase",
+                    delivery_s, t_s
+                );
+            }
+        }
+        let stats = pipe.stats();
+        prop_assert_eq!(stats.dropped_random, expected_drops);
+        prop_assert_eq!(stats.offered_packets, seconds.len() as u64);
+        prop_assert!(stats.is_conserved());
+    }
+
+    /// The wrapped query agrees with the equivalent in-trace query: an
+    /// offer in second `t_s` of a fresh pipe and an offer in second
+    /// `t_s + k·len` of another fresh pipe must land on delivery times
+    /// exactly `k·len` seconds apart (the schedule is periodic) and see
+    /// the same loss decision.
+    #[test]
+    fn wrapped_query_mirrors_in_trace_query(
+        len in 1u64..30,
+        wraps in 1u64..12,
+        t_in in 0u64..30,
+        offset_ms in 0u64..1000,
+    ) {
+        let t_in = t_in % len;
+        let stride = 2usize;
+        let mut a = marked_pipe(len as usize, stride);
+        let mut b = marked_pipe(len as usize, stride);
+        let mut rng_a = SmallRng::seed_from_u64(4);
+        let mut rng_b = SmallRng::seed_from_u64(4);
+        let now_a = SimTime::from_millis(t_in * 1000 + offset_ms);
+        let now_b = SimTime::from_millis((t_in + wraps * len) * 1000 + offset_ms);
+        let got_a = a.offer(1500, now_a, &mut rng_a);
+        let got_b = b.offer(1500, now_b, &mut rng_b);
+        match (got_a, got_b) {
+            (None, None) => {}
+            (Some(at_a), Some(at_b)) => {
+                let shift = SimTime::from_millis(wraps * len * 1000);
+                prop_assert_eq!(
+                    at_a + shift, at_b,
+                    "periodic schedule broke: {:?} + {} wraps != {:?}",
+                    at_a, wraps, at_b
+                );
+            }
+            (a, b) => prop_assert!(false, "loss decisions diverged across wraps: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -241,7 +241,7 @@ fn run_one(
         .emulate
         .then(|| graceful_degradation(&campaign, 60, 0.4, campaign.config.seed));
 
-    ScenarioOutcome {
+    let outcome = ScenarioOutcome {
         name: spec.name.clone(),
         description: spec.description.clone(),
         tests: campaign.records.len() as u32,
@@ -249,6 +249,49 @@ fn run_one(
         networks,
         coverage,
         emulation,
+    };
+    if leo_netsim::strict_checks() {
+        audit_outcome(&outcome);
+    }
+    outcome
+}
+
+/// Strict-mode self-audit: every scenario outcome must stay inside its
+/// physical ranges regardless of how hard the perturbations bite.
+fn audit_outcome(o: &ScenarioOutcome) {
+    let frac = |v: f64, what: &str| {
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "scenario '{}': {what} = {v} outside [0, 1]",
+            o.name
+        );
+    };
+    frac(o.coverage.mob_high, "mob_high");
+    frac(o.coverage.best_cell_high, "best_cell_high");
+    frac(o.coverage.combined_high, "combined_high");
+    frac(o.coverage.combined_poor, "combined_poor");
+    assert!(
+        o.udp_down_mean_mbps.is_finite() && o.udp_down_mean_mbps >= 0.0,
+        "scenario '{}': udp mean {} not a finite non-negative rate",
+        o.name,
+        o.udp_down_mean_mbps
+    );
+    for n in &o.networks {
+        assert!(
+            n.mean_capacity_mbps.is_finite() && n.mean_capacity_mbps >= 0.0,
+            "scenario '{}' network {}: capacity {}",
+            o.name,
+            n.network,
+            n.mean_capacity_mbps
+        );
+        assert!(
+            n.mean_rtt_ms.is_finite() && n.mean_rtt_ms >= 0.0,
+            "scenario '{}' network {}: rtt {}",
+            o.name,
+            n.network,
+            n.mean_rtt_ms
+        );
+        frac(n.outage_frac, "outage_frac");
     }
 }
 

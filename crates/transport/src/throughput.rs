@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 pub struct ThroughputMeter {
     bytes_per_sec: Vec<u64>,
     total_bytes: u64,
+    last_at_ns: u64,
 }
 
 impl ThroughputMeter {
@@ -18,8 +19,24 @@ impl ThroughputMeter {
     }
 
     /// Records `bytes` delivered at `at`.
+    ///
+    /// Delivery timestamps must be non-decreasing — agents record at the
+    /// simulator clock, which never runs backwards. Under
+    /// `LEO_CONFORMANCE=1` a regression panics; otherwise it is only
+    /// debug-asserted.
     pub fn record(&mut self, at: SimTime, bytes: u64) {
-        let sec = (at.as_nanos() / 1_000_000_000) as usize;
+        let ns = at.as_nanos();
+        if ns < self.last_at_ns {
+            debug_assert!(false, "throughput recorded at a rewound clock");
+            if leo_netsim::strict_checks() {
+                panic!(
+                    "throughput recorded at {} ns after {} ns: sim clock went backwards",
+                    ns, self.last_at_ns
+                );
+            }
+        }
+        self.last_at_ns = self.last_at_ns.max(ns);
+        let sec = (ns / 1_000_000_000) as usize;
         if self.bytes_per_sec.len() <= sec {
             self.bytes_per_sec.resize(sec + 1, 0);
         }

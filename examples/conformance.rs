@@ -1,0 +1,116 @@
+//! Conformance driver: golden-digest checking, blessing, and the seeded
+//! schedule fuzzer — the same entry points CI uses.
+//!
+//! ```text
+//! cargo run --release --example conformance               # check goldens + invariants
+//! cargo run --release --example conformance -- --bless    # regenerate tests/goldens/
+//! cargo run --release --example conformance -- --fuzz --cases 500 --seed 7
+//! cargo run --release --example conformance -- --case-seed 0xdeadbeef
+//! ```
+//!
+//! `--case-seed` replays exactly one fuzzer case: it is the reproduction
+//! command a fuzz failure prints, so a CI finding replays locally in
+//! milliseconds.
+
+use leo_cell::conformance::fuzz::{self, FuzzConfig};
+use leo_cell::conformance::goldens;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| parse_u64(v).unwrap_or_else(|| die(&format!("bad value for {name}: {v}"))))
+    };
+
+    if flag("--help") || flag("-h") {
+        println!(
+            "usage: conformance [--bless] [--fuzz [--cases N] [--seed S]] [--case-seed 0xS]\n\
+             default: verify the committed golden digests and run the invariant suite"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(seed) = value("--case-seed") {
+        println!("replaying fuzz case {seed:#018x} ...");
+        let report = fuzz::run_case(seed);
+        println!(
+            "case held every invariant: {} offers, {} delivered, transport={}",
+            report.offers, report.delivered, report.transport
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if flag("--fuzz") {
+        let cfg = FuzzConfig {
+            cases: value("--cases").unwrap_or(500),
+            seed: value("--seed").unwrap_or(7),
+        };
+        println!(
+            "fuzzing {} cases from master seed {:#x} ...",
+            cfg.cases, cfg.seed
+        );
+        let summary = fuzz::run(&cfg);
+        println!("{summary}");
+        return ExitCode::SUCCESS;
+    }
+
+    if flag("--bless") {
+        let digests = goldens::compute_digests();
+        let path = goldens::golden_path();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create goldens directory");
+        }
+        std::fs::write(&path, goldens::render(&digests)).expect("write golden file");
+        println!("blessed {} digests into {}", digests.len(), path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    // Default: the full conformance check.
+    let violations = goldens::check_invariants();
+    if !violations.is_empty() {
+        eprintln!("{} invariant violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("invariant suite clean over the canonical campaign and scenario sweep");
+
+    let golden_text = match std::fs::read_to_string(goldens::golden_path()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "cannot read {} ({e}); generate it with --bless",
+                goldens::golden_path().display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match goldens::compare(&goldens::compute_digests(), &golden_text) {
+        Ok(n) => {
+            println!("{n} golden digests match");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        s.replace('_', "").parse().ok()
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -17,11 +17,14 @@
 //! * [`core`] — one module per paper figure, regenerating each experiment
 //! * [`scenario`] — declarative what-if campaigns: fault injection and a
 //!   deterministic parallel sweep runner
+//! * [`conformance`] — simulation invariants, golden digests, and the
+//!   seeded schedule fuzzer guarding all of the above
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use leo_analysis as analysis;
 pub use leo_cellular as cellular;
+pub use leo_conformance as conformance;
 pub use leo_core as core;
 pub use leo_dataset as dataset;
 pub use leo_geo as geo;

@@ -1,0 +1,46 @@
+//! Tier-1 conformance gate: the committed golden digests must match a
+//! fresh computation, the invariant suite must be clean over the same
+//! canonical artifacts, and a fixed-seed fuzz smoke must hold every
+//! machine-checked law.
+
+use leo_cell::conformance::fuzz::{self, FuzzConfig};
+use leo_cell::conformance::goldens;
+
+#[test]
+fn invariant_suite_is_clean_on_canonical_artifacts() {
+    let violations = goldens::check_invariants();
+    assert!(
+        violations.is_empty(),
+        "{} invariant violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn golden_digests_match_the_committed_file() {
+    let path = goldens::golden_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with \
+             `cargo run --release --example conformance -- --bless`",
+            path.display()
+        )
+    });
+    let matched = goldens::compare(&goldens::compute_digests(), &text)
+        .unwrap_or_else(|diff| panic!("{diff}"));
+    // The set covers every layer: traces, records, all figures, all
+    // scenarios, and the serialized report.
+    assert!(matched >= 20, "only {matched} digests — coverage shrank?");
+}
+
+#[test]
+fn fuzz_smoke_holds_all_invariants() {
+    let summary = fuzz::run(&FuzzConfig { cases: 30, seed: 7 });
+    assert_eq!(summary.cases, 30);
+    assert!(summary.offers >= 30 * 50);
+}
