@@ -25,7 +25,16 @@ impl CoverageLevel {
     ];
 
     /// Classifies a throughput sample, Mbps.
+    ///
+    /// NaN is a measurement-pipeline bug, not a throughput: it is rejected
+    /// in debug builds and (since every `>` comparison on NaN is false)
+    /// falls through to `VeryLow` in release. Aggregations must filter NaN
+    /// *before* classifying — [`coverage_proportions`] does.
     pub fn of_mbps(mbps: f64) -> Self {
+        debug_assert!(
+            !mbps.is_nan(),
+            "NaN throughput sample reached CoverageLevel::of_mbps"
+        );
         if mbps > 100.0 {
             CoverageLevel::High
         } else if mbps > 50.0 {
@@ -50,9 +59,19 @@ impl CoverageLevel {
 
 /// Proportion of samples in each level, ordered as [`CoverageLevel::ALL`].
 /// Empty input yields all zeros.
+///
+/// NaN samples are *skipped* — they carry no throughput information, and
+/// silently binning them as `VeryLow` would inflate the poor-coverage bar
+/// of Fig. 8/9. Proportions are normalized by the NaN-free count, so they
+/// still sum to 1 whenever at least one sample is classifiable.
 pub fn coverage_proportions(mbps_samples: &[f64]) -> [f64; 4] {
     let mut counts = [0usize; 4];
+    let mut n = 0usize;
     for &v in mbps_samples {
+        if v.is_nan() {
+            continue;
+        }
+        n += 1;
         let idx = match CoverageLevel::of_mbps(v) {
             CoverageLevel::VeryLow => 0,
             CoverageLevel::Low => 1,
@@ -61,7 +80,6 @@ pub fn coverage_proportions(mbps_samples: &[f64]) -> [f64; 4] {
         };
         counts[idx] += 1;
     }
-    let n = mbps_samples.len();
     if n == 0 {
         return [0.0; 4];
     }
@@ -119,6 +137,18 @@ mod tests {
     #[test]
     fn proportions_of_empty() {
         assert_eq!(coverage_proportions(&[]), [0.0; 4]);
+    }
+
+    #[test]
+    fn proportions_skip_nan_samples() {
+        // Pre-fix, the NaN landed in VeryLow ([0.5, 0, 0, 0.5]) and
+        // inflated the poor-coverage bar; the policy is to drop it and
+        // normalize by the classifiable count.
+        let p = coverage_proportions(&[f64::NAN, 150.0]);
+        assert_eq!(p, [0.0, 0.0, 0.0, 1.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // All-NaN input has nothing classifiable: all zeros, like empty.
+        assert_eq!(coverage_proportions(&[f64::NAN; 3]), [0.0; 4]);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use leo_link::mahimahi::MahimahiTrace;
 use leo_link::trace::LinkTrace;
 use leo_netsim::{
-    ConstPipe, FaultPipe, FaultSchedule, LinkId, PipeStats, SimTime, Simulator, TracePipe,
+    ConstPipe, FaultPipe, FaultSchedule, LinkId, NodeId, PipeStats, SimTime, Simulator, TracePipe,
 };
 use leo_transport::cc::CcAlgorithm;
 use leo_transport::mptcp::{MptcpConfig, MptcpReceiver, MptcpSender, SchedulerKind};
@@ -77,6 +77,42 @@ pub fn buffer_packets(tuning: BufferTuning, a: &LinkTrace, b: &LinkTrace) -> u64
         BufferTuning::Default => (bdp_packets * 1.0) as u64,
         BufferTuning::Tuned => (bdp_packets * 12.0) as u64,
     }
+}
+
+/// Flushes per-subflow sender state into the obs registry after an MPTCP
+/// run. Only called when `LEO_OBS=1`; reads the sender through the same
+/// downcast the result extraction uses, so the run itself is untouched.
+fn flush_mptcp_obs(
+    sim: &Simulator,
+    sender: NodeId,
+    scheduler: SchedulerKind,
+    link_stats: &[PipeStats],
+) {
+    let snd = sim.agent_as::<MptcpSender>(sender);
+    leo_obs::incr("mptcp.runs", 1);
+    let sched = match scheduler {
+        SchedulerKind::RoundRobin => "mptcp.scheduler.round_robin.runs",
+        SchedulerKind::MinRtt => "mptcp.scheduler.min_rtt.runs",
+        SchedulerKind::Blest => "mptcp.scheduler.blest.runs",
+        SchedulerKind::Ecf => "mptcp.scheduler.ecf.runs",
+        SchedulerKind::LeoAware => "mptcp.scheduler.leo_aware.runs",
+    };
+    leo_obs::incr(sched, 1);
+    let timeouts = snd.subflow_timeouts();
+    for (i, (sent, retx)) in snd.subflow_counters().into_iter().enumerate() {
+        leo_obs::incr(&format!("mptcp.subflow.{i}.packets_sent"), sent);
+        leo_obs::incr(&format!("mptcp.subflow.{i}.retransmissions"), retx);
+        leo_obs::incr(&format!("mptcp.subflow.{i}.timeouts"), timeouts[i]);
+        // LinkId convention: data pipes are links 0/1, subflow order.
+        leo_obs::incr(
+            &format!("mptcp.subflow.{i}.bytes_delivered"),
+            link_stats[i].delivered_bytes,
+        );
+    }
+    for s in snd.subflow_srtts() {
+        leo_obs::observe("mptcp.subflow.srtt_ms", s * 1e3);
+    }
+    leo_obs::observe("mptcp.retx_rate", snd.retransmission_rate());
 }
 
 fn pipes_for(trace: &LinkTrace, queue_slack: u64) -> Option<(TracePipe, ConstPipe, SimTime)> {
@@ -146,6 +182,7 @@ fn run_single_path_impl(
             .start(ctx)
     });
     sim.run_until(SimTime::from_secs(secs));
+    leo_obs::incr("tcp.single_path.runs", 1);
     let link_stats = sim.audit().links;
     let r = sim.agent_as::<TcpReceiver>(receiver);
     let delivered_bytes = r.meter.total_bytes();
@@ -240,6 +277,9 @@ pub fn run_mptcp_faulted(
             });
             sim.run_until(SimTime::from_secs(secs));
             let link_stats = sim.audit().links;
+            if leo_obs::enabled() {
+                flush_mptcp_obs(&sim, sender, scheduler, &link_stats);
+            }
             let r = sim.agent_as::<MptcpReceiver>(receiver);
             let delivered_bytes = r.meter.total_bytes();
             if leo_netsim::strict_checks() {

@@ -176,14 +176,19 @@ impl Campaign {
         let corridor = route.waypoints();
         let classifier = AreaClassifier::new(places.clone());
 
+        leo_obs::incr("campaign.generations", 1);
+
         // 1. Drive the tour. Inherently sequential: each second's vehicle
         //    state depends on the previous one.
+        let drive_span = leo_obs::span("campaign.stage.drive_s");
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let plan = DrivePlan::new(route).with_start_hour(8.0);
         let mut samples = plan.simulate(&mut rng, 60 * 60 * 24 * 14);
         apply_weather_schedule(&mut samples, config.seed, config.weather);
+        drop(drive_span);
 
         // 2. Classify areas along the drive (or force one everywhere).
+        let area_span = leo_obs::span("campaign.stage.area_s");
         let areas: Vec<AreaType> = match config.area_override {
             Some(area) => vec![area; samples.len()],
             None => samples
@@ -191,14 +196,19 @@ impl Campaign {
                 .map(|s| classifier.classify(&s.position))
                 .collect(),
         };
+        drop(area_span);
 
         // 3. Trace every network over the same timeline, one job per
         //    network fanned out over scoped threads.
+        let trace_span = leo_obs::span("campaign.stage.trace_s");
         let traces = trace_all_networks(&config, &places, &corridor, &samples, &areas, threads);
+        drop(trace_span);
 
         // 4. Schedule and run the tests, split into contiguous index
         //    chunks across the workers.
+        let tests_span = leo_obs::span("campaign.stage.tests_s");
         let records = schedule_and_run(&config, &samples, &areas, &traces, threads);
+        drop(tests_span);
 
         Self {
             config,
@@ -270,7 +280,7 @@ fn trace_all_networks(
             .map(|&n| {
                 (
                     n,
-                    trace_network(n, config, places, corridor, samples, areas),
+                    trace_network_timed(n, config, places, corridor, samples, areas),
                 )
             })
             .collect();
@@ -280,6 +290,7 @@ fn trace_all_networks(
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 s.spawn(move |_| {
+                    let _worker = leo_obs::span("campaign.worker.trace_s");
                     NetworkId::ALL
                         .iter()
                         .skip(w)
@@ -287,7 +298,7 @@ fn trace_all_networks(
                         .map(|&n| {
                             (
                                 n,
-                                trace_network(n, config, places, corridor, samples, areas),
+                                trace_network_timed(n, config, places, corridor, samples, areas),
                             )
                         })
                         .collect::<Vec<_>>()
@@ -301,6 +312,27 @@ fn trace_all_networks(
     })
     .expect("trace scope panicked");
     traced.into_iter().collect()
+}
+
+/// [`trace_network`] under a per-network span, so an `LEO_OBS=1` run can
+/// break the trace stage down by network (the Starlink models dominate).
+fn trace_network_timed(
+    network: NetworkId,
+    config: &CampaignConfig,
+    places: &PlaceDb,
+    corridor: &[GeoPoint],
+    samples: &[EnvironmentSample],
+    areas: &[AreaType],
+) -> (LinkTrace, LinkTrace) {
+    let name = match network {
+        NetworkId::Att => "campaign.trace.ATT_s",
+        NetworkId::TMobile => "campaign.trace.TM_s",
+        NetworkId::Verizon => "campaign.trace.VZ_s",
+        NetworkId::Roam => "campaign.trace.RM_s",
+        NetworkId::Mobility => "campaign.trace.MOB_s",
+    };
+    let _span = leo_obs::span(name);
+    trace_network(network, config, places, corridor, samples, areas)
 }
 
 /// Builds one network's aligned (downlink, uplink) traces. Pure function
@@ -385,6 +417,7 @@ fn schedule_and_run(
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n_tests);
                 s.spawn(move |_| {
+                    let _worker = leo_obs::span("campaign.worker.tests_s");
                     (lo..hi)
                         .map(|i| {
                             run_scheduled_test(config, samples, areas, traces, stride, i as u32)

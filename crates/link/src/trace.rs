@@ -193,7 +193,10 @@ impl LinkTrace {
             return None;
         }
         let mut caps = self.capacity_series();
-        caps.sort_by(|a, b| a.partial_cmp(b).expect("capacities are finite"));
+        // total_cmp, not partial_cmp().expect(): a NaN smuggled in through
+        // a hand-built condition must not panic the stats path (NaNs sort
+        // to the end, after +inf, and poison only the quantiles they touch).
+        caps.sort_by(f64::total_cmp);
         let q = |p: f64| -> f64 {
             // Nearest-rank with linear interpolation.
             let idx = p * (caps.len() - 1) as f64;
@@ -277,6 +280,29 @@ mod tests {
     fn stats_empty_is_none() {
         let t = LinkTrace::new("e", 0, vec![]);
         assert!(t.stats().is_none());
+    }
+
+    #[test]
+    fn stats_survive_nan_capacity() {
+        // `LinkCondition::new` clamps NaN capacity to 0, but conditions can
+        // be struct-built (scenario tooling, deserialized JSON), so the
+        // stats path must not panic on one. Pre-fix, the
+        // `partial_cmp().expect("capacities are finite")` sort aborted here.
+        let mut samples = vec![LinkCondition::new(40.0, 50.0, 0.0); 4];
+        samples.push(LinkCondition {
+            capacity_mbps: f64::NAN,
+            rtt_ms: 50.0,
+            loss: 0.0,
+        });
+        let s = LinkTrace::new("nan", 0, samples)
+            .stats()
+            .expect("non-empty");
+        // total_cmp sorts NaN above every finite value: order statistics
+        // over the finite prefix stay meaningful.
+        assert_eq!(s.min_mbps, 40.0);
+        assert_eq!(s.median_mbps, 40.0);
+        assert_eq!(s.p25_mbps, 40.0);
+        assert!(s.max_mbps.is_nan());
     }
 
     #[test]

@@ -72,6 +72,16 @@ pub trait Pipe {
 
     /// Bytes currently queued (offered, not yet delivered).
     fn queued_bytes(&self, now: SimTime) -> u64;
+
+    /// High-water mark of the queue, in bytes, over the pipe's lifetime.
+    ///
+    /// Kept outside [`PipeStats`] on purpose: the stats struct is
+    /// serialized and hashed into conformance goldens, while this is an
+    /// observability-only reading. Wrappers forward to their inner pipe;
+    /// the default (for pipes without a queue model) reports 0.
+    fn queue_hiwater_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Boxed pipes are pipes, so wrappers like [`FaultPipe`] and
@@ -89,6 +99,10 @@ impl Pipe for Box<dyn Pipe> {
     fn queued_bytes(&self, now: SimTime) -> u64 {
         (**self).queued_bytes(now)
     }
+
+    fn queue_hiwater_bytes(&self) -> u64 {
+        (**self).queue_hiwater_bytes()
+    }
 }
 
 /// Constant-rate pipe: serialisation at `rate`, propagation `delay`,
@@ -105,6 +119,7 @@ pub struct ConstPipe {
     /// accounting; cleaned lazily.
     in_flight: VecDeque<(SimTime, u32)>,
     stats: PipeStats,
+    queue_hiwater: u64,
 }
 
 impl ConstPipe {
@@ -118,6 +133,7 @@ impl ConstPipe {
             busy_until: SimTime::ZERO,
             in_flight: VecDeque::new(),
             stats: PipeStats::default(),
+            queue_hiwater: 0,
         }
     }
 
@@ -155,6 +171,7 @@ impl Pipe for ConstPipe {
             self.stats.dropped_queue += 1;
             return None;
         }
+        self.queue_hiwater = self.queue_hiwater.max(queued + size_bytes as u64);
 
         let tx_time = SimTime::from_secs_f64(size_bytes as f64 / self.rate_bytes_per_s);
         let start = self.busy_until.max(now);
@@ -182,6 +199,10 @@ impl Pipe for ConstPipe {
             .map(|&(_, s)| s as u64)
             .sum()
     }
+
+    fn queue_hiwater_bytes(&self) -> u64 {
+        self.queue_hiwater
+    }
 }
 
 /// Mahimahi trace-driven pipe: each delivery opportunity in the schedule
@@ -198,6 +219,7 @@ pub struct TracePipe {
     opp_cursor: u64,
     in_flight: VecDeque<(SimTime, u32)>,
     stats: PipeStats,
+    queue_hiwater: u64,
 }
 
 impl TracePipe {
@@ -220,6 +242,7 @@ impl TracePipe {
             opp_cursor: 0,
             in_flight: VecDeque::new(),
             stats: PipeStats::default(),
+            queue_hiwater: 0,
         }
     }
 
@@ -271,10 +294,12 @@ impl Pipe for TracePipe {
             self.stats.dropped_random += 1;
             return None;
         }
-        if self.queued_bytes(now) + size_bytes as u64 > self.queue_limit_bytes {
+        let queued = self.queued_bytes(now);
+        if queued + size_bytes as u64 > self.queue_limit_bytes {
             self.stats.dropped_queue += 1;
             return None;
         }
+        self.queue_hiwater = self.queue_hiwater.max(queued + size_bytes as u64);
 
         // Consume the next delivery opportunity at or after `now` (and
         // after every already-assigned opportunity, preserving FIFO order).
@@ -312,6 +337,10 @@ impl Pipe for TracePipe {
             .filter(|&&(t, _)| t > horizon)
             .map(|&(_, s)| s as u64)
             .sum()
+    }
+
+    fn queue_hiwater_bytes(&self) -> u64 {
+        self.queue_hiwater
     }
 }
 
@@ -519,6 +548,44 @@ mod tests {
     }
 
     #[test]
+    fn queue_hiwater_tracks_peak_occupancy() {
+        // ConstPipe: the mark is "queued bytes after admission", and the
+        // in-service head packet occupies the transmitter, not the queue —
+        // so packets 1–4 read 1500, 1500, 3000, 4500.
+        let mut p = ConstPipe::new(1.0, SimTime::ZERO, 0.0, 4500);
+        let mut r = rng();
+        assert_eq!(p.queue_hiwater_bytes(), 0);
+        let _ = p.offer(1500, SimTime::ZERO, &mut r);
+        assert_eq!(p.queue_hiwater_bytes(), 1500);
+        let _ = p.offer(1500, SimTime::ZERO, &mut r);
+        assert_eq!(p.queue_hiwater_bytes(), 1500);
+        let _ = p.offer(1500, SimTime::ZERO, &mut r);
+        assert_eq!(p.queue_hiwater_bytes(), 3000);
+        assert!(p.offer(1500, SimTime::ZERO, &mut r).is_some());
+        assert_eq!(p.queue_hiwater_bytes(), 4500);
+        // Rejected packets never raise the mark.
+        assert!(p.offer(1500, SimTime::ZERO, &mut r).is_none());
+        assert_eq!(p.queue_hiwater_bytes(), 4500);
+        // The mark is a lifetime peak: it survives the queue draining.
+        let _ = p.offer(100, SimTime::from_secs(60), &mut r);
+        assert_eq!(p.queue_hiwater_bytes(), 4500);
+
+        // TracePipe counts the head packet too.
+        let trace = MahimahiTrace::from_deliveries(vec![5, 10, 15, 20]);
+        let mut tp = TracePipe::new(trace, SimTime::ZERO, 3000);
+        assert!(tp.offer(1500, SimTime::ZERO, &mut r).is_some());
+        assert!(tp.offer(1500, SimTime::ZERO, &mut r).is_some());
+        assert_eq!(tp.queue_hiwater_bytes(), 3000);
+
+        // Wrappers forward the inner pipe's reading.
+        let wrapped = FaultPipe::new(
+            JitterPipe::new(tp, SimTime::from_millis(1)),
+            FaultSchedule::new(),
+        );
+        assert_eq!(wrapped.queue_hiwater_bytes(), 3000);
+    }
+
+    #[test]
     fn stats_account_for_everything() {
         let mut p = ConstPipe::new(12.0, SimTime::ZERO, 0.5, 4500);
         let mut r = rng();
@@ -565,6 +632,10 @@ impl<P: Pipe> Pipe for JitterPipe<P> {
 
     fn queued_bytes(&self, now: SimTime) -> u64 {
         self.inner.queued_bytes(now)
+    }
+
+    fn queue_hiwater_bytes(&self) -> u64 {
+        self.inner.queue_hiwater_bytes()
     }
 }
 
@@ -771,6 +842,10 @@ impl<P: Pipe> Pipe for FaultPipe<P> {
 
     fn queued_bytes(&self, now: SimTime) -> u64 {
         self.inner.queued_bytes(now)
+    }
+
+    fn queue_hiwater_bytes(&self) -> u64 {
+        self.inner.queue_hiwater_bytes()
     }
 }
 

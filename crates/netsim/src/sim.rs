@@ -366,6 +366,29 @@ impl Simulator {
     }
 }
 
+/// When `LEO_OBS=1`, every finished simulation flushes its per-link
+/// counters into the process-wide [`leo_obs`] registry — one aggregate
+/// read per sim lifetime, so the event loop itself stays untouched.
+impl Drop for Simulator {
+    fn drop(&mut self) {
+        if !leo_obs::enabled() {
+            return;
+        }
+        leo_obs::incr("netsim.sims", 1);
+        let mut hiwater = 0u64;
+        for l in &self.links {
+            let s = l.pipe.stats();
+            leo_obs::incr("netsim.packets.offered", s.offered_packets);
+            leo_obs::incr("netsim.packets.delivered", s.delivered_packets);
+            leo_obs::incr("netsim.drop.random", s.dropped_random);
+            leo_obs::incr("netsim.drop.queue", s.dropped_queue);
+            leo_obs::incr("netsim.drop.fault", s.dropped_fault);
+            hiwater = hiwater.max(l.pipe.queue_hiwater_bytes());
+        }
+        leo_obs::gauge_max("netsim.queue.hiwater_bytes", hiwater as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

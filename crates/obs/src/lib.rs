@@ -1,0 +1,56 @@
+//! Zero-cost-when-off observability: a process-wide metrics registry,
+//! lightweight span timers, and a JSON run-report sink.
+//!
+//! The paper this repo reproduces is a *measurement study* — its whole
+//! contribution is instrumenting a system well enough to explain why
+//! throughput, latency, and loss behave as they do. This crate gives the
+//! simulator the same treatment: counters, max-gauges, log-bucketed
+//! histograms, and span timers wired through the hot paths (campaign
+//! generation, the orbit fast path, `netsim` pipes, the MPTCP emulator,
+//! the scenario runner).
+//!
+//! # The `LEO_OBS` contract
+//!
+//! Everything is gated behind `LEO_OBS=1` (or `true`), read once and
+//! cached in a `OnceLock` — the same pattern as `LEO_CONFORMANCE`. With
+//! the gate off, every recording call is a single cached-bool load and an
+//! early return: no clocks are read, no locks are taken, no strings are
+//! built. With the gate on, recording only ever *reads* simulation state
+//! (wall clocks, existing counters) — it never touches an RNG, never
+//! changes queue admission, never alters event ordering. The committed
+//! golden digests are therefore byte-identical with `LEO_OBS` off and on,
+//! at any campaign thread count (pinned by `tests/obs_zero_perturbation.rs`
+//! and enforced in CI).
+//!
+//! # Quick use
+//!
+//! ```
+//! // Recording is a no-op unless the process was started with LEO_OBS=1.
+//! leo_obs::incr("my.counter", 1);
+//! leo_obs::gauge_max("my.hiwater", 42.0);
+//! leo_obs::observe("my.latency_s", 0.003);
+//! {
+//!     let _span = leo_obs::span("my.phase");
+//!     // ... timed work; the histogram `my.phase` records seconds on drop
+//! }
+//! let report = leo_obs::snapshot();
+//! assert!(report.to_json().starts_with('{'));
+//! ```
+
+mod registry;
+mod report;
+
+pub use registry::{gauge_max, incr, observe, reset, snapshot, span, Histogram, Span};
+pub use report::{HistogramSnapshot, ObsReport};
+
+/// Whether observability is enabled for this process (`LEO_OBS=1` or
+/// `true`, cached on first call — the `LEO_CONFORMANCE` pattern).
+pub fn enabled() -> bool {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("LEO_OBS")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    })
+}

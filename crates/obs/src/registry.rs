@@ -1,0 +1,297 @@
+//! The process-wide metrics registry.
+//!
+//! Three metric families, all keyed by `&str` names:
+//!
+//! - **counters** — monotonically increasing `u64` sums ([`incr`]);
+//! - **max-gauges** — the maximum `f64` ever recorded ([`gauge_max`]),
+//!   for high-water marks;
+//! - **histograms** — count/sum/min/max plus fixed log₁₀-scale buckets
+//!   ([`observe`]), for latencies and ratios.
+//!
+//! Every recording function early-returns when [`crate::enabled`] is off,
+//! so the registry costs one cached-bool load per call site in normal
+//! runs. Recorded names are conventionally dotted lowercase paths
+//! (`campaign.stage.trace`, `netsim.drop.queue`); span histograms record
+//! seconds.
+
+use crate::report::{HistogramSnapshot, ObsReport};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Buckets per decade of the histogram's log₁₀ grid.
+const BUCKETS_PER_DECADE: usize = 4;
+/// Decades covered: `[1e-9, 1e9)`.
+const DECADES: usize = 18;
+/// Total bucket count (values outside the grid clamp to the edges).
+pub(crate) const BUCKET_COUNT: usize = BUCKETS_PER_DECADE * DECADES;
+/// `log₁₀` of the grid's lower edge.
+const LOG10_LO: f64 = -9.0;
+
+/// A fixed-bucket log-scale histogram.
+///
+/// Exact `count`/`sum`/`min`/`max`, plus `BUCKET_COUNT` buckets spanning
+/// `1e-9..1e9` at four per decade for quantile estimates. Non-positive
+/// and non-finite values land in the lowest bucket (they still count
+/// toward `count` and `min`/`max` bookkeeping uses only finite values).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    buckets: Box<[u64; BUCKET_COUNT]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Box::new([0; BUCKET_COUNT]),
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value.
+    fn bucket_of(v: f64) -> usize {
+        // NaN fails the comparison too, landing it in bucket 0.
+        if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !v.is_finite() {
+            return 0;
+        }
+        let idx = (v.log10() - LOG10_LO) * BUCKETS_PER_DECADE as f64;
+        if idx < 0.0 {
+            0
+        } else {
+            (idx as usize).min(BUCKET_COUNT - 1)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Estimated `q`-quantile (`q ∈ [0, 1]`): the geometric midpoint of
+    /// the bucket holding the rank, clamped to the exact `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut bucket = BUCKET_COUNT - 1;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                bucket = i;
+                break;
+            }
+        }
+        let mid = 10f64.powf(LOG10_LO + (bucket as f64 + 0.5) / BUCKETS_PER_DECADE as f64);
+        if self.min.is_finite() && self.max.is_finite() {
+            mid.clamp(self.min, self.max)
+        } else {
+            mid
+        }
+    }
+
+    /// Read-only snapshot for reports.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let finite_or = |v: f64| if v.is_finite() { v } else { 0.0 };
+        HistogramSnapshot {
+            count: self.count,
+            sum: finite_or(self.sum),
+            min: finite_or(self.min),
+            max: finite_or(self.max),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges_max: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Observability must never take the process down: recover from a
+    // poisoned lock (a panicking worker mid-record) rather than propagate.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Adds `n` to the named counter. No-op unless [`crate::enabled`].
+pub fn incr(name: &str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    *lock(&registry().counters)
+        .entry(name.to_string())
+        .or_insert(0) += n;
+}
+
+/// Raises the named max-gauge to at least `v`. No-op unless
+/// [`crate::enabled`].
+pub fn gauge_max(name: &str, v: f64) {
+    if !crate::enabled() || !v.is_finite() {
+        return;
+    }
+    let mut g = lock(&registry().gauges_max);
+    let e = g.entry(name.to_string()).or_insert(f64::NEG_INFINITY);
+    if v > *e {
+        *e = v;
+    }
+}
+
+/// Records `v` into the named histogram. No-op unless [`crate::enabled`].
+pub fn observe(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    lock(&registry().histograms)
+        .entry(name.to_string())
+        .or_default()
+        .record(v);
+}
+
+/// A span timer: measures wall-clock from construction to drop and
+/// records the elapsed **seconds** into the histogram named at
+/// construction. When [`crate::enabled`] is off the constructor reads no
+/// clock and the drop does nothing.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    inner: Option<(String, Instant)>,
+}
+
+impl Span {
+    /// Starts a span (reads `Instant::now` only when enabled).
+    pub fn new(name: &str) -> Self {
+        Self {
+            inner: crate::enabled().then(|| (name.to_string(), Instant::now())),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, t0)) = self.inner.take() {
+            observe(&name, t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Starts a [`Span`] over `name`.
+pub fn span(name: &str) -> Span {
+    Span::new(name)
+}
+
+/// Snapshots every metric into an [`ObsReport`]. Always works; with the
+/// gate off it returns an empty report with `enabled: false`.
+pub fn snapshot() -> ObsReport {
+    let r = registry();
+    ObsReport {
+        enabled: crate::enabled(),
+        counters: lock(&r.counters).clone(),
+        gauges_max: lock(&r.gauges_max).clone(),
+        histograms: lock(&r.histograms)
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect(),
+    }
+}
+
+/// Clears every metric (test isolation; the `LEO_OBS` gate itself stays
+/// cached).
+pub fn reset() {
+    let r = registry();
+    lock(&r.counters).clear();
+    lock(&r.gauges_max).clear();
+    lock(&r.histograms).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_monotone_and_clamped() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(-1.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_of(1e-12), 0);
+        assert_eq!(Histogram::bucket_of(1e12), BUCKET_COUNT - 1);
+        let mut last = 0;
+        for e in (-8..8).map(|d| 10f64.powi(d)) {
+            let b = Histogram::bucket_of(e * 1.0001);
+            assert!(b >= last, "bucket order broke at {e}");
+            last = b;
+        }
+        // One decade spans exactly BUCKETS_PER_DECADE buckets.
+        assert_eq!(
+            Histogram::bucket_of(10.0001) - Histogram::bucket_of(1.0001),
+            BUCKETS_PER_DECADE
+        );
+    }
+
+    #[test]
+    fn histogram_tracks_exact_and_estimated_stats() {
+        let mut h = Histogram::default();
+        for v in [0.001, 0.002, 0.004, 0.008, 0.1] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 0.115).abs() < 1e-12);
+        assert_eq!(h.min, 0.001);
+        assert_eq!(h.max, 0.1);
+        // Quantiles are bucket estimates but must stay within [min, max]
+        // and be monotone in q.
+        let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        assert!(h.min <= p50 && p50 <= p90 && p90 <= p99 && p99 <= h.max);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.p50, 0.0);
+    }
+
+    #[test]
+    fn disabled_process_records_nothing() {
+        // Unit tests run without LEO_OBS, so the public API must no-op
+        // (the integration test in `tests/enabled.rs` covers the on case).
+        if crate::enabled() {
+            return; // someone exported LEO_OBS=1 into the test run
+        }
+        incr("unit.counter", 3);
+        gauge_max("unit.gauge", 7.0);
+        observe("unit.hist", 1.0);
+        drop(span("unit.span"));
+        let snap = snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges_max.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+}

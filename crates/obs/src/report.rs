@@ -1,0 +1,261 @@
+//! The JSON run-report sink.
+//!
+//! [`ObsReport`] is a plain snapshot of the registry, rendered as pretty
+//! JSON (the `ScenarioReport` style) by [`ObsReport::to_json`]. The JSON
+//! is hand-rolled — this crate is dependency-free — with stable key order
+//! (`BTreeMap`) so two snapshots of the same state render byte-identical.
+//!
+//! Schema:
+//!
+//! ```json
+//! {
+//!   "enabled": true,
+//!   "counters": { "netsim.drop.queue": 12 },
+//!   "gauges_max": { "netsim.queue.hiwater_bytes": 64500.0 },
+//!   "histograms": {
+//!     "campaign.stage.trace": {
+//!       "count": 1, "sum": 0.18, "min": 0.18, "max": 0.18,
+//!       "p50": 0.18, "p90": 0.18, "p99": 0.18
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Counters are exact; gauges are running maxima; histogram `count`,
+//! `sum`, `min`, `max` are exact while `p50`/`p90`/`p99` are log-bucket
+//! estimates. Span histograms record seconds. Wall-clock values are of
+//! course not deterministic — the report is a diagnostic artifact and is
+//! never golden-checked.
+
+use std::collections::BTreeMap;
+
+/// Read-only summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+/// A snapshot of every metric in the process registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    /// Whether `LEO_OBS` was on (an all-empty report with `enabled:
+    /// false` usually means the flag was forgotten).
+    pub enabled: bool,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges_max: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl ObsReport {
+    /// Counter value, defaulting to 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Pretty JSON, stable key order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"enabled\": {},\n", self.enabled));
+
+        s.push_str("  \"counters\": {");
+        push_entries(&mut s, self.counters.iter(), |s, v| {
+            s.push_str(&v.to_string())
+        });
+        s.push_str("},\n");
+
+        s.push_str("  \"gauges_max\": {");
+        push_entries(&mut s, self.gauges_max.iter(), |s, v| {
+            s.push_str(&json_f64(**v))
+        });
+        s.push_str("},\n");
+
+        s.push_str("  \"histograms\": {");
+        push_entries(&mut s, self.histograms.iter(), |s, h| {
+            s.push_str(&format!(
+                "{{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {} }}",
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max),
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99)
+            ))
+        });
+        s.push_str("}\n}\n");
+        s
+    }
+}
+
+/// Renders `"key": <value>` entries indented under an open brace.
+fn push_entries<'a, V: 'a>(
+    s: &mut String,
+    entries: impl Iterator<Item = (&'a String, V)>,
+    mut push_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (k, v) in entries {
+        s.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        s.push_str("    \"");
+        s.push_str(&json_escape(k));
+        s.push_str("\": ");
+        push_value(s, &v);
+    }
+    if !first {
+        s.push_str("\n  ");
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-roundtrip float; non-finite values (never produced by the
+/// registry, but a report field could be hand-built) render as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers, but keep the float-ness
+        // visible for schema readers.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ObsReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("a.count".to_string(), 3u64);
+        counters.insert("b.count".to_string(), 0u64);
+        let mut gauges_max = BTreeMap::new();
+        gauges_max.insert("q.hiwater".to_string(), 1500.0);
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "stage.t".to_string(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 0.5,
+                min: 0.2,
+                max: 0.3,
+                p50: 0.23,
+                p90: 0.3,
+                p99: 0.3,
+            },
+        );
+        ObsReport {
+            enabled: true,
+            counters,
+            gauges_max,
+            histograms,
+        }
+    }
+
+    #[test]
+    fn json_contains_every_section_and_key() {
+        let j = sample_report().to_json();
+        for needle in [
+            "\"enabled\": true",
+            "\"a.count\": 3",
+            "\"b.count\": 0",
+            "\"q.hiwater\": 1500.0",
+            "\"stage.t\"",
+            "\"count\": 2",
+            "\"p99\": 0.3",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_balanced_and_stable() {
+        let j = sample_report().to_json();
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{j}"
+        );
+        assert_eq!(j, sample_report().to_json(), "rendering must be stable");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_objects() {
+        let r = ObsReport {
+            enabled: false,
+            counters: BTreeMap::new(),
+            gauges_max: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"enabled\": false"));
+        assert!(j.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn float_rendering_is_json_safe() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn accessors_default_sensibly() {
+        let r = sample_report();
+        assert_eq!(r.counter("a.count"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.counter_sum("a."), 3);
+        assert_eq!(r.counter_sum(""), 3);
+        assert!(r.histogram("stage.t").is_some());
+        assert!(r.histogram("nope").is_none());
+    }
+}

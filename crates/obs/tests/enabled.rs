@@ -1,0 +1,62 @@
+//! The enabled path, in its own process so the `LEO_OBS` OnceLock can be
+//! set before anything reads it. One test function: the registry is
+//! process-global and the gate is process-wide, so splitting into
+//! parallel `#[test]`s would race on `reset()`.
+
+#[test]
+fn enabled_registry_records_and_reports() {
+    std::env::set_var("LEO_OBS", "1");
+    assert!(leo_obs::enabled());
+
+    leo_obs::reset();
+    leo_obs::incr("t.counter", 2);
+    leo_obs::incr("t.counter", 3);
+    leo_obs::gauge_max("t.hiwater", 10.0);
+    leo_obs::gauge_max("t.hiwater", 4.0); // lower: must not win
+    leo_obs::observe("t.hist", 0.25);
+    leo_obs::observe("t.hist", 0.5);
+    {
+        let _span = leo_obs::span("t.span");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let snap = leo_obs::snapshot();
+    assert!(snap.enabled);
+    assert_eq!(snap.counter("t.counter"), 5);
+    assert_eq!(snap.gauges_max.get("t.hiwater"), Some(&10.0));
+    let h = snap.histogram("t.hist").expect("histogram recorded");
+    assert_eq!(h.count, 2);
+    assert_eq!(h.min, 0.25);
+    assert_eq!(h.max, 0.5);
+    assert!((h.sum - 0.75).abs() < 1e-12);
+    let s = snap.histogram("t.span").expect("span recorded");
+    assert_eq!(s.count, 1);
+    assert!(
+        s.sum >= 0.002,
+        "span shorter than the slept 2 ms: {}",
+        s.sum
+    );
+
+    // The JSON report carries everything.
+    let j = snap.to_json();
+    for needle in ["\"t.counter\": 5", "\"t.hiwater\": 10.0", "\"t.hist\""] {
+        assert!(j.contains(needle), "missing {needle} in:\n{j}");
+    }
+
+    // Concurrent recording from threads must not lose increments.
+    leo_obs::reset();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..1000 {
+                    leo_obs::incr("t.parallel", 1);
+                }
+            });
+        }
+    });
+    assert_eq!(leo_obs::snapshot().counter("t.parallel"), 4000);
+
+    // reset() clears the registry for the next phase of a test.
+    leo_obs::reset();
+    assert!(leo_obs::snapshot().counters.is_empty());
+}

@@ -303,6 +303,15 @@ fn build_windows(
             });
         }
     }
+
+    if leo_obs::enabled() && !table.planes.is_empty() {
+        leo_obs::incr("orbit.prune.planes_total", table.planes.len() as u64);
+        leo_obs::incr("orbit.prune.planes_survived", windows.len() as u64);
+        leo_obs::observe(
+            "orbit.prune.survivor_frac",
+            windows.len() as f64 / table.planes.len() as f64,
+        );
+    }
 }
 
 /// Evaluates the exact visibility test on every candidate in `windows`,
@@ -507,6 +516,7 @@ impl VisibilitySearcher {
     }
 
     fn ensure_windows(&mut self, gp: &Ecef, t_s: f64, min_elevation_deg: f64) {
+        leo_obs::incr("orbit.searcher.queries", 1);
         let valid = self.state.as_ref().is_some_and(|s| {
             s.min_elevation_deg == min_elevation_deg
                 && t_s >= s.anchor_t_s
@@ -514,8 +524,10 @@ impl VisibilitySearcher {
                 && gp.distance_km(&s.anchor_ecef) <= self.move_budget_km
         });
         if valid {
+            leo_obs::incr("orbit.searcher.reuses", 1);
             return;
         }
+        leo_obs::incr("orbit.searcher.rebuilds", 1);
         // Drift pad: how far the window geometry can shift over the
         // horizon. Satellites advance by n·H along their plane, the
         // observer's inertial direction rotates with the Earth, and the

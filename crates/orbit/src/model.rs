@@ -141,6 +141,11 @@ impl StarlinkLinkModel {
         force_naive: bool,
     ) -> (LinkTrace, LinkTrace) {
         assert_eq!(samples.len(), areas.len(), "one area per sample");
+        if force_naive {
+            // The oracle path: either LEO_ORBIT_NAIVE or an equivalence
+            // check deliberately bypassed the fast searcher.
+            leo_obs::incr("orbit.oracle_fallbacks", 1);
+        }
         let label = self.config.plan.label();
         let mut down = Vec::with_capacity(samples.len());
         let mut up = Vec::with_capacity(samples.len());

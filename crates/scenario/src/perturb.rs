@@ -185,6 +185,115 @@ mod tests {
     }
 
     #[test]
+    fn perturbations_compose_in_application_order() {
+        // The contract: `apply_all` folds perturbations strictly in spec
+        // order, each one reading the previous one's output. An Outage is
+        // a *last-writer* (it overwrites the condition with
+        // `LinkCondition::OUTAGE`), so ordering against an additive fault
+        // like RttSpike is observable...
+        let base = tiny_campaign();
+        let w = Window::frac(0.3, 0.6);
+        let all = NetworkSelector::All;
+        let outage = Perturbation::Outage {
+            window: w,
+            networks: all,
+        };
+        let spike = Perturbation::RttSpike {
+            window: w,
+            networks: all,
+            extra_ms: 200.0,
+        };
+
+        let mut outage_then_spike = base.clone();
+        apply_all(&mut outage_then_spike, &[outage.clone(), spike.clone()]);
+        let mut spike_then_outage = base.clone();
+        apply_all(&mut spike_then_outage, &[spike, outage.clone()]);
+
+        let timeline = base.samples.len() as u64;
+        let (lo, hi) = w.bounds_s(timeline);
+        let mid = (lo + hi) / 2;
+        let ots = outage_then_spike.traces[&NetworkId::Mobility]
+            .0
+            .at(mid)
+            .unwrap();
+        let sto = spike_then_outage.traces[&NetworkId::Mobility]
+            .0
+            .at(mid)
+            .unwrap();
+        // Outage last: exactly the OUTAGE condition, spike overwritten.
+        assert_eq!(*sto, LinkCondition::OUTAGE);
+        // Spike last: it reads the outage's condition and adds its RTT.
+        assert_eq!(ots.capacity_mbps, 0.0);
+        assert_eq!(ots.rtt_ms, LinkCondition::OUTAGE.rtt_ms + 200.0);
+        assert_ne!(ots, sto, "order must be observable");
+
+        // ...while Outage vs LossBurst commutes: the burst's extra loss
+        // saturates at the outage's loss = 1.0 cap either way.
+        let burst = Perturbation::LossBurst {
+            window: w,
+            networks: all,
+            extra_loss: 0.3,
+        };
+        let mut outage_then_burst = base.clone();
+        apply_all(&mut outage_then_burst, &[outage.clone(), burst.clone()]);
+        let mut burst_then_outage = base.clone();
+        apply_all(&mut burst_then_outage, &[burst, outage]);
+        for n in NetworkId::ALL {
+            let a = &outage_then_burst.traces[&n];
+            let b = &burst_then_outage.traces[&n];
+            assert_eq!(a.0.samples(), b.0.samples(), "{n:?} down");
+            assert_eq!(a.1.samples(), b.1.samples(), "{n:?} up");
+        }
+        assert_eq!(outage_then_burst.records, burst_then_outage.records);
+    }
+
+    #[test]
+    fn overlapping_windows_compose_on_the_overlap() {
+        // RainFade on [0.2, 0.5) and RttSpike on [0.35, 0.7): inside the
+        // overlap both effects must be present; outside it exactly one.
+        let base = tiny_campaign();
+        let mut hit = base.clone();
+        let fade_w = Window::frac(0.2, 0.5);
+        let spike_w = Window::frac(0.35, 0.7);
+        apply_all(
+            &mut hit,
+            &[
+                Perturbation::RainFade {
+                    window: fade_w,
+                    networks: NetworkSelector::All,
+                    capacity_factor: 0.5,
+                },
+                Perturbation::RttSpike {
+                    window: spike_w,
+                    networks: NetworkSelector::All,
+                    extra_ms: 100.0,
+                },
+            ],
+        );
+        let timeline = base.samples.len() as u64;
+        let (f_lo, f_hi) = fade_w.bounds_s(timeline);
+        let (s_lo, s_hi) = spike_w.bounds_s(timeline);
+        assert!(f_lo < s_lo && s_lo < f_hi && f_hi < s_hi, "windows overlap");
+        let orig = &base.traces[&NetworkId::Mobility].0;
+        let got = &hit.traces[&NetworkId::Mobility].0;
+        let check = |t: u64, faded: bool, spiked: bool| {
+            let (o, g) = (orig.at(t).unwrap(), got.at(t).unwrap());
+            let want_cap = if faded {
+                o.capacity_mbps * 0.5
+            } else {
+                o.capacity_mbps
+            };
+            let want_rtt = if spiked { o.rtt_ms + 100.0 } else { o.rtt_ms };
+            assert!((g.capacity_mbps - want_cap).abs() < 1e-9, "cap@{t}");
+            assert!((g.rtt_ms - want_rtt).abs() < 1e-9, "rtt@{t}");
+        };
+        check(f_lo, true, false); // fade only
+        check(s_lo, true, true); // the overlap: both compose
+        check(f_hi, false, true); // spike only
+        check(s_hi, false, false); // past both: untouched
+    }
+
+    #[test]
     fn loss_and_rtt_faults_stay_in_valid_ranges() {
         let base = tiny_campaign();
         let mut hit = base.clone();

@@ -161,13 +161,22 @@ impl ScenarioRunner {
         let base_campaign = Campaign::generate_with_threads(self.base.clone(), 1);
         let slots: Mutex<Vec<Option<ScenarioOutcome>>> = Mutex::new(vec![None; specs.len()]);
         let workers = self.threads.min(specs.len()).max(1);
+        leo_obs::incr("scenario.sweeps", 1);
+        leo_obs::gauge_max("scenario.workers", workers as f64);
+        let sweep_span = leo_obs::span("scenario.sweep_s");
         crossbeam::thread::scope(|s| {
             for w in 0..workers {
                 let base_campaign = &base_campaign;
                 let slots = &slots;
                 let base = &self.base;
                 s.spawn(move |_| {
+                    // Worker busy time vs. `scenario.sweep_s` gives the
+                    // sweep's per-worker utilisation in the run report.
+                    let _busy = leo_obs::span("scenario.worker.busy_s");
                     for (i, spec) in specs.iter().enumerate().skip(w).step_by(workers) {
+                        leo_obs::incr("scenario.runs", 1);
+                        let _run = leo_obs::span("scenario.run_s");
+                        let _named = leo_obs::span(&format!("scenario.{}.run_s", spec.name));
                         let outcome = run_one(spec, base, base_campaign);
                         slots.lock().expect("slots poisoned")[i] = Some(outcome);
                     }
@@ -175,6 +184,7 @@ impl ScenarioRunner {
             }
         })
         .expect("scenario scope panicked");
+        drop(sweep_span);
         let outcomes = slots
             .into_inner()
             .expect("slots poisoned")

@@ -42,11 +42,26 @@ impl Window {
 
     /// Resolves the window against a timeline of `timeline_s` seconds,
     /// returning half-open second bounds `[start, end)`.
+    ///
+    /// A fractionally non-empty window (`end_frac > start_frac` after
+    /// clamping) always resolves to at least one second on a non-empty
+    /// timeline: rounding both endpoints to the same second widens the
+    /// result to a single sample instead of silently no-opping the
+    /// perturbation (e.g. `frac(0.2, 0.4)` on a 1-second timeline).
+    /// Inverted windows stay empty.
     pub fn bounds_s(&self, timeline_s: u64) -> (u64, u64) {
         let clamp = |f: f64| (f.clamp(0.0, 1.0) * timeline_s as f64).round() as u64;
-        let start = clamp(self.start_frac);
-        let end = clamp(self.end_frac).max(start);
-        (start.min(timeline_s), end.min(timeline_s))
+        let mut start = clamp(self.start_frac).min(timeline_s);
+        let mut end = clamp(self.end_frac).max(start).min(timeline_s);
+        let nonempty_frac = self.end_frac.clamp(0.0, 1.0) > self.start_frac.clamp(0.0, 1.0);
+        if end == start && nonempty_frac && timeline_s > 0 {
+            if start < timeline_s {
+                end = start + 1;
+            } else {
+                start = timeline_s - 1;
+            }
+        }
+        (start, end)
     }
 }
 
@@ -229,6 +244,24 @@ mod tests {
         // Inverted and out-of-range windows degrade to empty / clamped.
         assert_eq!(Window::frac(0.8, 0.2).bounds_s(100), (80, 80));
         assert_eq!(Window::frac(-3.0, 7.0).bounds_s(100), (0, 100));
+    }
+
+    #[test]
+    fn nonempty_fractional_window_never_rounds_to_empty() {
+        // Pre-fix, both endpoints rounded to the same second and the
+        // perturbation silently no-opped: frac(0.2, 0.4) on a 1 s timeline
+        // gave (0, 0).
+        assert_eq!(Window::frac(0.2, 0.4).bounds_s(1), (0, 1));
+        // Both endpoints round to 1 on a 2 s timeline (0.9 and 1.1).
+        assert_eq!(Window::frac(0.45, 0.55).bounds_s(2), (1, 2));
+        // Both endpoints round to the timeline end: widen backwards.
+        assert_eq!(Window::frac(0.9, 1.0).bounds_s(1), (0, 1));
+        // Inverted windows remain empty — widening is only for windows
+        // that are non-degenerate in fraction space...
+        assert_eq!(Window::frac(0.4, 0.2).bounds_s(1), (0, 0));
+        // ...as are zero-width ones and empty timelines.
+        assert_eq!(Window::frac(0.3, 0.3).bounds_s(100), (30, 30));
+        assert_eq!(Window::frac(0.2, 0.4).bounds_s(0), (0, 0));
     }
 
     #[test]

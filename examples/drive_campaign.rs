@@ -6,6 +6,9 @@
 //!
 //! ```sh
 //! cargo run --release --example drive_campaign -- --scale 0.2
+//!
+//! # With an observability run report (per-stage timings, sim counters):
+//! cargo run --release --example drive_campaign -- --metrics-json metrics.json
 //! ```
 
 use leo_cell::dataset::campaign::{Campaign, CampaignConfig};
@@ -18,13 +21,21 @@ use std::io::{BufWriter, Write};
 
 fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().collect();
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
+    let arg_value = |key: &str| {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let scale = arg_value("--scale")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.1_f64)
         .clamp(0.005, 1.0);
+    let metrics_json = arg_value("--metrics-json");
+    if metrics_json.is_some() {
+        // Force the gate on before the first `enabled()` read caches it.
+        std::env::set_var("LEO_OBS", "1");
+    }
 
     eprintln!("Driving the five-state tour at scale {scale}…");
     let campaign = Campaign::generate(CampaignConfig {
@@ -84,6 +95,16 @@ fn main() -> std::io::Result<()> {
             }
         }
         println!();
+    }
+
+    if let Some(path) = metrics_json {
+        let json = leo_cell::obs::snapshot().to_json();
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(&path, &json)?;
+            eprintln!("Wrote obs run report to {path}");
+        }
     }
     Ok(())
 }

@@ -25,6 +25,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42u64);
     let only = arg_value(&args, "--only");
+    let metrics_json = arg_value(&args, "--metrics-json");
+    if metrics_json.is_some() {
+        // Force the gate on before the first `enabled()` read caches it.
+        std::env::set_var("LEO_OBS", "1");
+    }
 
     eprintln!("Generating campaign at scale {scale} (seed {seed})…");
     let start = std::time::Instant::now();
@@ -80,6 +85,16 @@ fn main() {
         println!("{} — {}\n", fig.id, fig.title);
         println!("{out}");
         eprintln!("[{} rendered in {took:.1?}]\n", fig.id);
+    }
+
+    if let Some(path) = metrics_json {
+        let obs_json = leo_cell::obs::snapshot().to_json();
+        if path == "-" {
+            println!("{obs_json}");
+        } else {
+            std::fs::write(&path, &obs_json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("Wrote obs run report to {path}");
+        }
     }
 }
 

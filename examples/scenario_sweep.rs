@@ -33,6 +33,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(campaign_threads);
     let json = args.iter().any(|a| a == "--json");
+    let metrics_json = arg_value(&args, "--metrics-json");
+    if metrics_json.is_some() {
+        // Force the gate on before the first `enabled()` read caches it.
+        std::env::set_var("LEO_OBS", "1");
+    }
 
     let mut specs: Vec<ScenarioSpec> = match arg_value(&args, "--spec") {
         Some(path) => {
@@ -69,6 +74,16 @@ fn main() {
         println!("{}", report.to_json());
     } else {
         println!("{}", report.render_table());
+    }
+
+    if let Some(path) = metrics_json {
+        let obs_json = leo_cell::obs::snapshot().to_json();
+        if path == "-" {
+            println!("{obs_json}");
+        } else {
+            std::fs::write(&path, &obs_json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("Wrote obs run report to {path}");
+        }
     }
 }
 

@@ -19,6 +19,8 @@
 //!   deterministic parallel sweep runner
 //! * [`conformance`] — simulation invariants, golden digests, and the
 //!   seeded schedule fuzzer guarding all of the above
+//! * [`obs`] — zero-cost-when-off observability: metrics, span timers,
+//!   and JSON run reports (`LEO_OBS=1`)
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -31,6 +33,7 @@ pub use leo_geo as geo;
 pub use leo_link as link;
 pub use leo_measure as measure;
 pub use leo_netsim as netsim;
+pub use leo_obs as obs;
 pub use leo_orbit as orbit;
 pub use leo_scenario as scenario;
 pub use leo_transport as transport;

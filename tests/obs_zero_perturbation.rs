@@ -1,0 +1,60 @@
+//! The observability layer's hard guarantee: `LEO_OBS=1` must not move a
+//! single bit of any simulation output.
+//!
+//! One `#[test]` on purpose — the obs gate is a process-wide `OnceLock`,
+//! so the whole binary runs with `LEO_OBS=1` (and 4 campaign threads) set
+//! before the first `enabled()` read, then checks that the canonical
+//! golden digests still match the committed file byte-for-byte while the
+//! registry demonstrably recorded traffic.
+
+use leo_cell::conformance::goldens;
+use leo_cell::dataset::campaign::{Campaign, CampaignConfig};
+use leo_cell::obs;
+
+#[test]
+fn goldens_are_byte_identical_with_obs_enabled() {
+    std::env::set_var("LEO_OBS", "1");
+    std::env::set_var("LEO_CAMPAIGN_THREADS", "4");
+    assert!(
+        obs::enabled(),
+        "gate must be on for this test to mean anything"
+    );
+
+    // The committed goldens were blessed with obs off; recomputing them
+    // with obs on (and parallel campaign workers) must change nothing.
+    let path = goldens::golden_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with \
+             `cargo run --release --example conformance -- --bless`",
+            path.display()
+        )
+    });
+    goldens::compare(&goldens::compute_digests(), &text)
+        .unwrap_or_else(|diff| panic!("obs-on digests diverged from committed goldens:\n{diff}"));
+
+    // Thread-count independence survives instrumentation: the worker
+    // spans wrap the fan-out without touching its seeding.
+    let cfg = CampaignConfig {
+        scale: 0.01,
+        seed: 0x0b5_2023,
+        ..CampaignConfig::default()
+    };
+    let one = Campaign::generate_with_threads(cfg.clone(), 1);
+    let four = Campaign::generate_with_threads(cfg, 4);
+    assert_eq!(one.records, four.records);
+    for (n, (down, up)) in &one.traces {
+        assert_eq!(down.samples(), four.traces[n].0.samples(), "{n:?} down");
+        assert_eq!(up.samples(), four.traces[n].1.samples(), "{n:?} up");
+    }
+
+    // And the registry really was live the whole time — this test must
+    // not pass vacuously with the gate off.
+    let report = obs::snapshot();
+    assert!(report.counter("campaign.generations") >= 2);
+    assert!(report.counter("orbit.searcher.queries") > 0);
+    assert!(
+        report.histogram("campaign.stage.trace_s").is_some(),
+        "stage spans must have recorded"
+    );
+}
